@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one figure / table of the paper at the
+``smoke`` experiment scale.  The heavy artefacts — the adversarially,
+naturally, and noise-augmented pretrained dense models — are shared
+across all benchmarks through a session-scoped
+:class:`~repro.experiments.context.ExperimentContext`, exactly as the
+paper reuses its pretrained ImageNet models across figures.
+
+Each benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round): the quantity of interest is the reproduced table, not
+a timing distribution, and a single round keeps the full suite within a
+CPU-only budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale, ResultTable, shared_context
+from repro.experiments.config import SMOKE
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale used by the benchmark suite."""
+    return SMOKE
+
+
+@pytest.fixture(scope="session")
+def context(scale):
+    """Process-wide experiment context (cached pretrained models and tasks)."""
+    return shared_context(scale)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def report(table: ResultTable) -> None:
+    """Print a reproduced table so it appears in the benchmark output."""
+    print()
+    print(table.to_text())

@@ -1,0 +1,58 @@
+"""Substrate micro-benchmarks: forward/backward throughput of the numpy engine.
+
+These are true timing benchmarks (multiple rounds) for the building
+blocks every experiment relies on; regressions here inflate every other
+benchmark in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.heads import ClassifierHead
+from repro.models.resnet import resnet18, resnet50
+from repro.tensor import Tensor, cross_entropy
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    return rng.uniform(size=(16, 3, 16, 16)), rng.integers(0, 10, size=16)
+
+
+def _forward_backward(model, images, labels):
+    model.train()
+    logits = model(Tensor(images))
+    loss = cross_entropy(logits, labels)
+    loss.backward()
+    model.zero_grad()
+    return float(loss.item())
+
+
+def test_resnet18_forward_backward_throughput(benchmark, batch):
+    images, labels = batch
+    model = ClassifierHead(resnet18(base_width=8, seed=0), num_classes=10, seed=1)
+    loss = benchmark.pedantic(
+        _forward_backward, args=(model, images, labels), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert np.isfinite(loss)
+
+
+def test_resnet50_forward_backward_throughput(benchmark, batch):
+    images, labels = batch
+    model = ClassifierHead(resnet50(base_width=8, seed=0), num_classes=10, seed=1)
+    loss = benchmark.pedantic(
+        _forward_backward, args=(model, images, labels), rounds=2, iterations=1, warmup_rounds=1
+    )
+    assert np.isfinite(loss)
+
+
+def test_resnet18_inference_throughput(benchmark, batch):
+    images, _ = batch
+    model = ClassifierHead(resnet18(base_width=8, seed=0), num_classes=10, seed=1)
+    model.eval()
+
+    def infer():
+        return model(Tensor(images)).data
+
+    logits = benchmark.pedantic(infer, rounds=5, iterations=1, warmup_rounds=1)
+    assert logits.shape == (16, 10)

@@ -1,0 +1,10 @@
+"""Setuptools shim so ``pip install -e .`` works without network access.
+
+The offline environment lacks the ``wheel`` package required by PEP 660
+editable installs, so this file enables the legacy ``setup.py develop``
+path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

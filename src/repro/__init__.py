@@ -1,0 +1,24 @@
+"""repro — reproduction of "Robust Tickets Can Transfer Better" (DAC 2023).
+
+The package is organised in layers:
+
+``repro.tensor`` / ``repro.nn`` / ``repro.optim``
+    A pure-numpy deep-learning substrate (autograd, layers, optimizers).
+``repro.models`` / ``repro.data``
+    ResNet feature extractors and the synthetic source / downstream
+    task families used in place of ImageNet, CIFAR, VTAB, and VOC.
+``repro.attacks`` / ``repro.training``
+    Adversarial attacks (FGSM, PGD), randomized smoothing, and the
+    natural / adversarial training loops.
+``repro.pruning``
+    OMP, IMP / A-IMP, LMP and structured pruning used to draw tickets.
+``repro.core``
+    The paper's contribution: the robust-ticket transfer-learning
+    pipeline and its evaluation bundles.
+``repro.metrics`` / ``repro.experiments``
+    Evaluation metrics and one runner per paper figure / table.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

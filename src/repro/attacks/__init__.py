@@ -1,0 +1,30 @@
+"""Adversarial attacks and randomized smoothing.
+
+* :func:`fgsm_attack` / :func:`pgd_attack` craft L-infinity bounded
+  perturbations (Goodfellow et al., 2014; Madry et al., 2017).  PGD is
+  both the attack used to *measure* adversarial accuracy and the inner
+  maximisation of adversarial training.
+* :class:`RandomizedSmoothing` implements Gaussian-noise smoothing
+  (Cohen et al., 2019), the alternative robust pretraining scheme used
+  in Fig. 6 of the paper.
+"""
+
+from repro.attacks.fgsm import fgsm_attack
+from repro.attacks.pgd import pgd_attack, PGDConfig
+from repro.attacks.square import square_attack, SquareAttackConfig
+from repro.attacks.smoothing import (
+    RandomizedSmoothing,
+    certified_accuracy_curve,
+    gaussian_augment,
+)
+
+__all__ = [
+    "fgsm_attack",
+    "pgd_attack",
+    "PGDConfig",
+    "square_attack",
+    "SquareAttackConfig",
+    "RandomizedSmoothing",
+    "certified_accuracy_curve",
+    "gaussian_augment",
+]

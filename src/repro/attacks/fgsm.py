@@ -1,0 +1,44 @@
+"""Fast Gradient Sign Method (FGSM) attack."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, cross_entropy
+
+
+def fgsm_attack(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    epsilon: float,
+    clip_min: float = 0.0,
+    clip_max: float = 1.0,
+    loss_fn: Callable = cross_entropy,
+) -> np.ndarray:
+    """Craft FGSM adversarial examples ``x + epsilon * sign(grad_x loss)``.
+
+    The model is evaluated in its current train/eval mode; callers should
+    normally put it in ``eval()`` first so batch-norm uses running
+    statistics.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if epsilon == 0:
+        return np.asarray(images, dtype=np.float64).copy()
+
+    inputs = Tensor(np.asarray(images, dtype=np.float64), requires_grad=True)
+    logits = model(inputs)
+    loss = loss_fn(logits, labels)
+    loss.backward()
+    if inputs.grad is None:
+        raise RuntimeError("input gradient was not populated; is the model differentiable?")
+    adversarial = inputs.data + epsilon * np.sign(inputs.grad)
+    # Parameter gradients accumulated as a side effect must not leak into
+    # any surrounding training step.
+    for parameter in model.parameters():
+        parameter.grad = None
+    return np.clip(adversarial, clip_min, clip_max)

@@ -1,0 +1,94 @@
+"""A simplified Square Attack: query-efficient black-box L-infinity attack.
+
+Andriushchenko et al. (2020), cited by the paper as the representative
+black-box attack, search for adversarial perturbations by proposing
+random square-shaped patches of saturated noise and keeping a proposal
+only if it increases the loss.  No gradients of the model are used, so
+this attack complements PGD for evaluating adversarial robustness of
+tickets under a threat model without white-box access.
+
+This implementation keeps the core random-search loop (square sampling,
+greedy acceptance, shrinking square size) and omits the original's
+initialisation schedule refinements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class SquareAttackConfig:
+    """Hyper-parameters of the random-search square attack."""
+
+    epsilon: float = 8.0 / 255.0
+    iterations: int = 50
+    initial_fraction: float = 0.5  # side of the square as a fraction of the image side
+
+    def square_side(self, iteration: int, image_side: int) -> int:
+        """Square side for ``iteration``, shrinking geometrically to 1 pixel."""
+        progress = iteration / max(self.iterations, 1)
+        fraction = self.initial_fraction * (1.0 - progress)
+        return max(1, int(round(fraction * image_side)))
+
+
+def _per_sample_loss(model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Cross-entropy per sample, computed without building an autograd graph."""
+    with no_grad():
+        logits = model(Tensor(images)).data
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return -log_probs[np.arange(len(labels)), labels]
+
+
+def square_attack(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: Optional[SquareAttackConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    clip_min: float = 0.0,
+    clip_max: float = 1.0,
+) -> np.ndarray:
+    """Craft black-box adversarial examples by greedy random square search."""
+    config = config if config is not None else SquareAttackConfig()
+    rng = rng if rng is not None else np.random.default_rng()
+    images = np.asarray(images, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if config.epsilon <= 0 or config.iterations <= 0:
+        return images.copy()
+
+    batch, channels, height, width = images.shape
+    model.eval()
+
+    # Start from random vertical-stripe noise at +/- epsilon (as in the original).
+    stripes = rng.choice([-config.epsilon, config.epsilon], size=(batch, channels, 1, width))
+    adversarial = np.clip(images + stripes, clip_min, clip_max)
+    adversarial = np.clip(adversarial, images - config.epsilon, images + config.epsilon)
+    best_loss = _per_sample_loss(model, adversarial, labels)
+
+    for iteration in range(config.iterations):
+        side = config.square_side(iteration, min(height, width))
+        top = rng.integers(0, height - side + 1, size=batch)
+        left = rng.integers(0, width - side + 1, size=batch)
+        signs = rng.choice([-config.epsilon, config.epsilon], size=(batch, channels, 1, 1))
+
+        proposal = adversarial.copy()
+        for index in range(batch):
+            patch = slice(top[index], top[index] + side), slice(left[index], left[index] + side)
+            proposal[index, :, patch[0], patch[1]] = images[index, :, patch[0], patch[1]] + signs[index]
+        proposal = np.clip(proposal, images - config.epsilon, images + config.epsilon)
+        proposal = np.clip(proposal, clip_min, clip_max)
+
+        proposal_loss = _per_sample_loss(model, proposal, labels)
+        improved = proposal_loss > best_loss
+        adversarial[improved] = proposal[improved]
+        best_loss = np.maximum(best_loss, proposal_loss)
+
+    return adversarial

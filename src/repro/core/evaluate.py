@@ -1,0 +1,83 @@
+"""Property evaluation bundle (Fig. 8 / Tab. I of the paper).
+
+Given a transferred model and its downstream task, compute every metric
+reported in Tab. I: natural accuracy, calibration (ECE, NLL),
+adversarial accuracy under PGD, corruption accuracy, and OoD detection
+ROC-AUC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.attacks.pgd import PGDConfig
+from repro.data.dataset import ArrayDataset
+from repro.data.ood import ood_dataset
+from repro.data.tasks import TaskSpec
+from repro.metrics.classification import (
+    accuracy,
+    expected_calibration_error,
+    negative_log_likelihood,
+)
+from repro.metrics.ood import ood_roc_auc
+from repro.nn.module import Module
+from repro.training.evaluation import (
+    evaluate_adversarial_accuracy,
+    evaluate_corruption_accuracy,
+    predict_logits,
+)
+
+
+@dataclass
+class PropertyReport:
+    """All Tab. I properties for one model on one task."""
+
+    accuracy: float
+    ece: float
+    nll: float
+    adversarial_accuracy: float
+    corruption_accuracy: float
+    ood_roc_auc: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "ece": self.ece,
+            "nll": self.nll,
+            "adv_accuracy": self.adversarial_accuracy,
+            "corruption_accuracy": self.corruption_accuracy,
+            "roc_auc": self.ood_roc_auc,
+        }
+
+
+def evaluate_properties(
+    model: Module,
+    task: TaskSpec,
+    attack: Optional[PGDConfig] = None,
+    ood: Optional[ArrayDataset] = None,
+    corruption_severity: int = 3,
+    seed: int = 0,
+) -> PropertyReport:
+    """Compute the full Tab. I property bundle for ``model`` on ``task``."""
+    attack = attack if attack is not None else PGDConfig(epsilon=0.03, steps=5)
+    ood = ood if ood is not None else ood_dataset(
+        num_samples=min(200, len(task.test)), image_size=task.image_size, seed=seed + 917
+    )
+
+    logits = predict_logits(model, task.test.images)
+    labels = task.test.labels
+    ood_logits = predict_logits(model, ood.images)
+
+    return PropertyReport(
+        accuracy=accuracy(logits, labels),
+        ece=expected_calibration_error(logits, labels),
+        nll=negative_log_likelihood(logits, labels),
+        adversarial_accuracy=evaluate_adversarial_accuracy(
+            model, task.test, attack=attack, seed=seed
+        ),
+        corruption_accuracy=evaluate_corruption_accuracy(
+            model, task.test, severity=corruption_severity, seed=seed
+        ),
+        ood_roc_auc=ood_roc_auc(logits, ood_logits),
+    )

@@ -1,0 +1,147 @@
+"""The :class:`Ticket` object: a mask plus the pretrained weights it indexes.
+
+A ticket is the paper's ``f(.; m ⊙ θ_pre)``: a binary mask ``m`` drawn
+from a pretrained dense model with parameters ``θ_pre``.  Materialising
+the ticket builds a fresh backbone, loads ``θ_pre``, and applies the
+mask — the resulting subnetwork is what gets transferred downstream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.registry import build_model
+from repro.models.resnet import ResNet
+from repro.pruning.mask import PruningMask
+from repro.utils.checkpoint import load_state_dict, save_state_dict
+
+
+@dataclass
+class Ticket:
+    """A subnetwork drawn from a pretrained model.
+
+    Attributes
+    ----------
+    scheme:
+        How the mask was drawn: ``"omp"``, ``"imp"``, ``"aimp"`` or ``"lmp"``.
+    prior:
+        The pretraining scheme of the dense model the mask indexes:
+        ``"natural"``, ``"adversarial"`` or ``"smoothing"``.  Tickets
+        with an adversarial (or smoothing) prior are the paper's
+        *robust tickets*; natural-prior tickets are *natural tickets*.
+    sparsity:
+        Fraction of pruned backbone weights (realised, not requested).
+    mask:
+        The binary mask over backbone parameters.
+    backbone_state:
+        The pretrained dense weights ``θ_pre``.
+    granularity:
+        Sparsity pattern of the mask (unstructured / row / kernel / channel).
+    metadata:
+        Free-form extra information (e.g. which task IMP was run on).
+    """
+
+    scheme: str
+    prior: str
+    model_name: str
+    base_width: int
+    sparsity: float
+    mask: PruningMask
+    backbone_state: Dict[str, np.ndarray]
+    granularity: str = "unstructured"
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_robust(self) -> bool:
+        """Whether this is a robust ticket (drawn with a robustness prior)."""
+        return self.prior in ("adversarial", "smoothing")
+
+    @property
+    def name(self) -> str:
+        """A readable identifier, e.g. ``robust-omp-s0.70``."""
+        kind = "robust" if self.is_robust else "natural"
+        return f"{kind}-{self.scheme}-s{self.sparsity:.2f}"
+
+    def materialise(self, seed: int = 0) -> ResNet:
+        """Build a backbone carrying ``m ⊙ θ_pre``."""
+        backbone = build_model(self.model_name, base_width=self.base_width, seed=seed)
+        backbone.load_state_dict(self.backbone_state)
+        self.mask.apply(backbone, strict=False)
+        return backbone
+
+    def with_mask(self, mask: PruningMask, scheme: Optional[str] = None) -> "Ticket":
+        """A copy of this ticket carrying a different mask (same ``θ_pre``)."""
+        return Ticket(
+            scheme=scheme if scheme is not None else self.scheme,
+            prior=self.prior,
+            model_name=self.model_name,
+            base_width=self.base_width,
+            sparsity=mask.sparsity(),
+            mask=mask,
+            backbone_state=self.backbone_state,
+            granularity=self.granularity,
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Save the ticket (mask + pretrained weights + metadata) to an ``.npz`` archive.
+
+        Weights and mask arrays are stored under ``weight./`` and ``mask./``
+        prefixes; scalar fields travel in a JSON header entry, so a single
+        file is enough to reconstruct the ticket elsewhere.
+        """
+        header = {
+            "scheme": self.scheme,
+            "prior": self.prior,
+            "model_name": self.model_name,
+            "base_width": self.base_width,
+            "sparsity": self.sparsity,
+            "granularity": self.granularity,
+            "metadata": self.metadata,
+        }
+        payload: Dict[str, np.ndarray] = {
+            "__ticket_header__": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        }
+        for name, value in self.backbone_state.items():
+            payload[f"weight./{name}"] = value
+        for name, value in self.mask.as_dict().items():
+            payload[f"mask./{name}"] = value
+        return save_state_dict(payload, path)
+
+    @classmethod
+    def load(cls, path: str) -> "Ticket":
+        """Load a ticket previously written by :meth:`save`."""
+        payload = load_state_dict(path)
+        if "__ticket_header__" not in payload:
+            raise ValueError(f"{path!r} does not contain a serialised Ticket")
+        header = json.loads(payload["__ticket_header__"].tobytes().decode("utf-8"))
+        backbone_state = {
+            name[len("weight./") :]: value
+            for name, value in payload.items()
+            if name.startswith("weight./")
+        }
+        mask = PruningMask(
+            {
+                name[len("mask./") :]: value
+                for name, value in payload.items()
+                if name.startswith("mask./")
+            }
+        )
+        return cls(
+            scheme=header["scheme"],
+            prior=header["prior"],
+            model_name=header["model_name"],
+            base_width=int(header["base_width"]),
+            sparsity=float(header["sparsity"]),
+            mask=mask,
+            backbone_state=backbone_state,
+            granularity=header["granularity"],
+            metadata=dict(header["metadata"]),
+        )

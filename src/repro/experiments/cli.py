@@ -1,0 +1,70 @@
+"""Command-line entry point for the experiment runners.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.experiments --list
+
+Reproduce Fig. 1 at smoke scale and save the rows as CSV::
+
+    python -m repro.experiments fig1 --scale smoke --csv fig1.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.registry import available_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the figures/tables of 'Robust Tickets Can Transfer Better'.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment identifier (one of: {', '.join(available_experiments())})",
+    )
+    parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=("smoke", "paper"),
+        help="experiment scale preset (default: smoke)",
+    )
+    parser.add_argument("--csv", metavar="PATH", help="also write the result rows to a CSV file")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("Available experiments:")
+        for name in available_experiments():
+            print(f"  {name}")
+        return 0 if args.list or args.experiment is None else 2
+
+    if args.experiment not in available_experiments():
+        parser.error(
+            f"unknown experiment {args.experiment!r}; use --list to see the available identifiers"
+        )
+
+    table = run_experiment(args.experiment, scale=args.scale)
+    print(table.to_text())
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(table.to_csv() + "\n")
+        print(f"\nwrote {len(table)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Experiment scale presets.
+
+Every runner accepts an :class:`ExperimentScale`, so the same code
+reproduces a figure at ``smoke`` scale (CI / laptop, minutes) or at
+``paper`` scale (closer to the paper's grids).  The quantities that the
+paper's qualitative conclusions depend on — relative over-
+parameterisation of the two backbones, sparsity sweep shape, presence
+of a robustness prior — are preserved at every scale; only sample
+counts, epochs, and grid densities shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizes and sweep grids for one experiment scale."""
+
+    name: str
+    #: backbone width (the reference models use 64)
+    base_width: int
+    #: source (ImageNet stand-in) task
+    source_classes: int
+    source_train_size: int
+    source_test_size: int
+    pretrain_epochs: int
+    #: downstream tasks
+    downstream_train_size: int
+    downstream_test_size: int
+    finetune_epochs: int
+    linear_epochs: int
+    #: sparsity grids
+    sparsity_grid: Tuple[float, ...]
+    high_sparsity_grid: Tuple[float, ...]
+    structured_sparsity_grid: Tuple[float, ...]
+    #: IMP settings
+    imp_iterations: int
+    imp_epochs_per_iteration: int
+    #: LMP settings
+    lmp_epochs: int
+    #: adversarial training / attack strength
+    attack_epsilon: float
+    attack_steps: int
+    #: segmentation task
+    segmentation_train_size: int
+    segmentation_test_size: int
+    segmentation_epochs: int
+    #: VTAB-like suite
+    vtab_train_size: int
+    vtab_test_size: int
+    #: FID estimation
+    fid_samples: int
+    #: which backbones each figure sweeps
+    models: Tuple[str, ...] = ("resnet18",)
+    tasks: Tuple[str, ...] = ("cifar10",)
+    seed: int = 0
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    base_width=8,
+    source_classes=12,
+    source_train_size=640,
+    source_test_size=160,
+    pretrain_epochs=4,
+    downstream_train_size=224,
+    downstream_test_size=144,
+    finetune_epochs=3,
+    linear_epochs=30,
+    sparsity_grid=(0.5, 0.8),
+    high_sparsity_grid=(0.9, 0.97),
+    structured_sparsity_grid=(0.3, 0.6),
+    imp_iterations=2,
+    imp_epochs_per_iteration=1,
+    lmp_epochs=3,
+    attack_epsilon=0.03,
+    attack_steps=4,
+    segmentation_train_size=160,
+    segmentation_test_size=64,
+    segmentation_epochs=4,
+    vtab_train_size=192,
+    vtab_test_size=128,
+    fid_samples=300,
+    models=("resnet18",),
+    tasks=("cifar10", "cifar100"),
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    base_width=16,
+    source_classes=40,
+    source_train_size=20000,
+    source_test_size=4000,
+    pretrain_epochs=60,
+    downstream_train_size=5000,
+    downstream_test_size=2000,
+    finetune_epochs=30,
+    linear_epochs=100,
+    sparsity_grid=(0.2, 0.4, 0.6, 0.7, 0.8, 0.9),
+    high_sparsity_grid=(0.9, 0.95, 0.98, 0.99),
+    structured_sparsity_grid=(0.2, 0.4, 0.6),
+    imp_iterations=5,
+    imp_epochs_per_iteration=4,
+    lmp_epochs=20,
+    attack_epsilon=0.03,
+    attack_steps=7,
+    segmentation_train_size=2000,
+    segmentation_test_size=500,
+    segmentation_epochs=20,
+    vtab_train_size=2000,
+    vtab_test_size=800,
+    fid_samples=2000,
+    models=("resnet18", "resnet50"),
+    tasks=("cifar10", "cifar100"),
+)
+
+_SCALES = {scale.name: scale for scale in (SMOKE, PAPER)}
+
+
+def get_scale(name_or_scale) -> ExperimentScale:
+    """Resolve ``"smoke"`` / ``"paper"`` / an explicit scale object."""
+    if isinstance(name_or_scale, ExperimentScale):
+        return name_or_scale
+    if name_or_scale in _SCALES:
+        return _SCALES[name_or_scale]
+    raise KeyError(f"unknown scale {name_or_scale!r}; available: {sorted(_SCALES)}")

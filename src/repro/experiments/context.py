@@ -1,0 +1,92 @@
+"""Shared experiment context: cached pipelines, tasks, and pretrained models.
+
+Every figure in the paper reuses the same pretrained dense models and
+downstream datasets, so runners (and the benchmark harness) share them
+through an :class:`ExperimentContext` keyed by the experiment scale.
+``shared_context(scale)`` returns a process-wide cached instance so that
+running several benchmarks in one pytest session pretrains each dense
+model exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.pipeline import PipelineConfig, RobustTicketPipeline
+from repro.data.segmentation import SegmentationTask, segmentation_task
+from repro.data.tasks import TaskSpec, downstream_task, vtab_suite
+from repro.experiments.config import ExperimentScale, get_scale
+
+
+class ExperimentContext:
+    """Caches pipelines (per backbone) and tasks for one experiment scale."""
+
+    def __init__(self, scale: ExperimentScale) -> None:
+        self.scale = scale
+        self._pipelines: Dict[str, RobustTicketPipeline] = {}
+        self._tasks: Dict[Tuple[str, int, int], TaskSpec] = {}
+        self._segmentation: Optional[SegmentationTask] = None
+        self._vtab: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # Pipelines
+    # ------------------------------------------------------------------
+    def pipeline(self, model_name: str) -> RobustTicketPipeline:
+        """The (cached) pipeline for ``model_name`` at this scale."""
+        if model_name not in self._pipelines:
+            config = PipelineConfig(
+                model_name=model_name,
+                base_width=self.scale.base_width,
+                source_classes=self.scale.source_classes,
+                source_train_size=self.scale.source_train_size,
+                source_test_size=self.scale.source_test_size,
+                pretrain_epochs=self.scale.pretrain_epochs,
+                attack_epsilon=self.scale.attack_epsilon,
+                attack_steps=self.scale.attack_steps,
+                seed=self.scale.seed,
+            )
+            self._pipelines[model_name] = RobustTicketPipeline(config)
+        return self._pipelines[model_name]
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+    def task(self, name: str, train_size: Optional[int] = None, test_size: Optional[int] = None) -> TaskSpec:
+        """The (cached) named downstream task at this scale."""
+        train_size = train_size if train_size is not None else self.scale.downstream_train_size
+        test_size = test_size if test_size is not None else self.scale.downstream_test_size
+        key = (name, train_size, test_size)
+        if key not in self._tasks:
+            self._tasks[key] = downstream_task(
+                name, train_size=train_size, test_size=test_size, seed=self.scale.seed + 200
+            )
+        return self._tasks[key]
+
+    def segmentation(self) -> SegmentationTask:
+        if self._segmentation is None:
+            self._segmentation = segmentation_task(
+                train_size=self.scale.segmentation_train_size,
+                test_size=self.scale.segmentation_test_size,
+                seed=self.scale.seed + 500,
+            )
+        return self._segmentation
+
+    def vtab(self) -> list:
+        if self._vtab is None:
+            self._vtab = vtab_suite(
+                train_size=self.scale.vtab_train_size,
+                test_size=self.scale.vtab_test_size,
+                seed=self.scale.seed + 300,
+            )
+        return self._vtab
+
+
+_SHARED: Dict[str, ExperimentContext] = {}
+
+
+def shared_context(scale="smoke") -> ExperimentContext:
+    """Process-wide cached :class:`ExperimentContext` for ``scale``."""
+    scale = get_scale(scale)
+    if scale.name not in _SHARED:
+        _SHARED[scale.name] = ExperimentContext(scale)
+    return _SHARED[scale.name]

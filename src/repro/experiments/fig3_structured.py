@@ -1,0 +1,65 @@
+"""Fig. 3 — structured robust tickets (row-, kernel-, channel-wise).
+
+Tickets are drawn via OMP at structured granularities from the
+Bottleneck backbone (ResNet50 in the paper) and evaluated under both
+whole-model finetuning and linear evaluation.  The paper's second
+observation — that coarser patterns inherit less of the robustness prior
+— is visible as a shrinking robust-vs-natural gap from row to channel
+granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import get_scale
+from repro.experiments.context import ExperimentContext, shared_context
+from repro.experiments.results import ResultTable
+from repro.training.trainer import TrainerConfig
+
+#: Structured granularities evaluated, fine to coarse (as in Fig. 3).
+STRUCTURED_GRANULARITIES = ("row", "kernel", "channel")
+
+
+def run(
+    scale="smoke",
+    context: Optional[ExperimentContext] = None,
+    model: Optional[str] = None,
+    tasks: Optional[Sequence[str]] = None,
+    sparsities: Optional[Sequence[float]] = None,
+    granularities: Sequence[str] = STRUCTURED_GRANULARITIES,
+    modes: Sequence[str] = ("finetune", "linear"),
+) -> ResultTable:
+    """Reproduce Fig. 3: structured robust vs natural tickets."""
+    scale = get_scale(scale)
+    context = context if context is not None else shared_context(scale)
+    # The paper uses ResNet50 here; default to the largest model in the scale.
+    model = model if model is not None else scale.models[-1]
+    tasks = tuple(tasks) if tasks is not None else scale.tasks
+    sparsities = tuple(sparsities) if sparsities is not None else scale.structured_sparsity_grid
+
+    table = ResultTable("Fig. 3: structured OMP tickets (row / kernel / channel)")
+    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
+    pipeline = context.pipeline(model)
+
+    for task_name in tasks:
+        task = context.task(task_name)
+        for granularity in granularities:
+            for sparsity in sparsities:
+                robust = pipeline.draw_omp_ticket("robust", sparsity, granularity=granularity)
+                natural = pipeline.draw_omp_ticket("natural", sparsity, granularity=granularity)
+                for mode in modes:
+                    config = finetune_config if mode == "finetune" else None
+                    robust_result = pipeline.transfer(robust, task, mode=mode, config=config)
+                    natural_result = pipeline.transfer(natural, task, mode=mode, config=config)
+                    table.add_row(
+                        model=model,
+                        task=task_name,
+                        granularity=granularity,
+                        mode=mode,
+                        sparsity=round(sparsity, 4),
+                        robust_accuracy=robust_result.score,
+                        natural_accuracy=natural_result.score,
+                        gap=robust_result.score - natural_result.score,
+                    )
+    return table

@@ -1,0 +1,64 @@
+"""Fig. 4 — A-IMP robust tickets vs IMP natural tickets (US and DS variants).
+
+Four arms per (model, task, sparsity) point:
+
+* ``robust_us``  — A-IMP on the upstream/source task (robust prior);
+* ``robust_ds``  — A-IMP on the downstream task;
+* ``natural_us`` — vanilla IMP on the upstream task (natural prior);
+* ``natural_ds`` — vanilla IMP on the downstream task.
+
+Each resulting mask is applied to the corresponding pretrained weights
+(``m ⊙ θ_pre``) and transferred with whole-model finetuning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import get_scale
+from repro.experiments.context import ExperimentContext, shared_context
+from repro.experiments.results import ResultTable
+from repro.training.trainer import TrainerConfig
+
+
+def run(
+    scale="smoke",
+    context: Optional[ExperimentContext] = None,
+    models: Optional[Sequence[str]] = None,
+    tasks: Optional[Sequence[str]] = None,
+    sparsities: Optional[Sequence[float]] = None,
+) -> ResultTable:
+    """Reproduce Fig. 4: (A-)IMP tickets drawn upstream and downstream."""
+    scale = get_scale(scale)
+    context = context if context is not None else shared_context(scale)
+    models = tuple(models) if models is not None else scale.models
+    tasks = tuple(tasks) if tasks is not None else scale.tasks[:1]
+    sparsities = tuple(sparsities) if sparsities is not None else scale.sparsity_grid
+
+    table = ResultTable("Fig. 4: A-IMP (robust) vs IMP (natural) tickets, US and DS")
+    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
+
+    for model_name in models:
+        pipeline = context.pipeline(model_name)
+        for task_name in tasks:
+            task = context.task(task_name)
+            for sparsity in sparsities:
+                row = {
+                    "model": model_name,
+                    "task": task_name,
+                    "sparsity": round(sparsity, 4),
+                }
+                for prior in ("robust", "natural"):
+                    for origin, origin_label in (("upstream", "us"), ("downstream", "ds")):
+                        ticket = pipeline.draw_imp_ticket(
+                            prior,
+                            sparsity,
+                            on=origin,
+                            downstream=task,
+                            iterations=scale.imp_iterations,
+                            epochs_per_iteration=scale.imp_epochs_per_iteration,
+                        )
+                        result = pipeline.transfer(ticket, task, mode="finetune", config=finetune_config)
+                        row[f"{prior}_{origin_label}"] = result.score
+                table.add_row(**row)
+    return table

@@ -1,0 +1,52 @@
+"""Registry mapping experiment identifiers to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    fig1_omp_finetune,
+    fig2_omp_linear,
+    fig3_structured,
+    fig4_imp,
+    fig5_lmp,
+    fig6_pretraining_schemes,
+    fig7_segmentation,
+    fig8_properties,
+    fig9_vtab_fid,
+)
+from repro.experiments.ablations import (
+    granularity_gap_ablation,
+    mask_overlap_analysis,
+    perturbation_strength_ablation,
+)
+from repro.experiments.results import ResultTable
+
+#: Experiment id -> runner.  Every entry corresponds to a figure/table of
+#: the paper (or a documented ablation) and to one benchmark file.
+EXPERIMENTS: Dict[str, Callable[..., ResultTable]] = {
+    "fig1": fig1_omp_finetune.run,
+    "fig2": fig2_omp_linear.run,
+    "fig3": fig3_structured.run,
+    "fig4": fig4_imp.run,
+    "fig5": fig5_lmp.run,
+    "fig6": fig6_pretraining_schemes.run,
+    "fig7": fig7_segmentation.run,
+    "fig8_tab1": fig8_properties.run,
+    "fig9_tab2": fig9_vtab_fid.run,
+    "ablation_epsilon": perturbation_strength_ablation,
+    "ablation_granularity": granularity_gap_ablation,
+    "ablation_mask_overlap": mask_overlap_analysis,
+}
+
+
+def available_experiments() -> List[str]:
+    """Identifiers of all registered experiments."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(identifier: str, scale="smoke", **kwargs) -> ResultTable:
+    """Run a registered experiment by identifier."""
+    if identifier not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {identifier!r}; available: {available_experiments()}")
+    return EXPERIMENTS[identifier](scale=scale, **kwargs)

@@ -1,0 +1,110 @@
+"""Result tables produced by experiment runners.
+
+A :class:`ResultTable` is an ordered list of dict rows with helpers for
+formatting (so the benchmark harness can print the same rows/series the
+paper reports), for selecting series, and for win/loss comparisons
+between the robust and natural arms of an experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+class ResultTable:
+    """An ordered collection of result rows (dicts with shared keys)."""
+
+    def __init__(self, title: str, rows: Optional[Iterable[Dict[str, Any]]] = None) -> None:
+        self.title = title
+        self.rows: List[Dict[str, Any]] = [dict(row) for row in rows] if rows else []
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def columns(self) -> List[str]:
+        """Union of keys across rows, in first-seen order."""
+        seen: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "ResultTable":
+        return ResultTable(self.title, [row for row in self.rows if predicate(row)])
+
+    def select(self, **equals: Any) -> "ResultTable":
+        """Rows whose values match all the given key=value pairs."""
+        def predicate(row: Dict[str, Any]) -> bool:
+            return all(row.get(key) == value for key, value in equals.items())
+
+        return self.filter(predicate)
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def win_rate(self, better: str, worse: str, margin: float = 0.0) -> float:
+        """Fraction of rows where column ``better`` exceeds ``worse`` by ``margin``."""
+        wins = 0
+        comparisons = 0
+        for row in self.rows:
+            if better in row and worse in row and row[better] is not None and row[worse] is not None:
+                comparisons += 1
+                if row[better] > row[worse] + margin:
+                    wins += 1
+        return wins / comparisons if comparisons else float("nan")
+
+    def mean_gap(self, better: str, worse: str) -> float:
+        """Mean of ``row[better] - row[worse]`` over rows carrying both columns."""
+        gaps = [
+            row[better] - row[worse]
+            for row in self.rows
+            if better in row and worse in row and row[better] is not None and row[worse] is not None
+        ]
+        return sum(gaps) / len(gaps) if gaps else float("nan")
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+    def to_text(self, float_format: str = "{:.4f}") -> str:
+        """Plain-text aligned table, suitable for printing from a benchmark."""
+        columns = self.columns()
+        if not columns:
+            return f"== {self.title} ==\n(no rows)"
+
+        def render(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        rendered = [[render(row.get(column, "")) for column in columns] for row in self.rows]
+        widths = [
+            max(len(column), *(len(row[index]) for row in rendered)) if rendered else len(column)
+            for index, column in enumerate(columns)
+        ]
+        header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+        separator = "  ".join("-" * width for width in widths)
+        body = "\n".join(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths)) for row in rendered
+        )
+        return f"== {self.title} ==\n{header}\n{separator}\n{body}"
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (header + rows)."""
+        columns = self.columns()
+        lines = [",".join(columns)]
+        for row in self.rows:
+            lines.append(",".join(str(row.get(column, "")) for column in columns))
+        return "\n".join(lines)
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self.rows]

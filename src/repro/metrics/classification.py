@@ -1,0 +1,68 @@
+"""Classification metrics: accuracy, calibration (ECE), likelihood (NLL)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy from logits (or probabilities) and integer labels."""
+    predictions = np.asarray(logits).argmax(axis=-1)
+    return float((predictions == np.asarray(labels)).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy from logits and integer labels."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels).reshape(-1, 1)
+    k = min(k, logits.shape[-1])
+    top_k = np.argsort(logits, axis=-1)[:, -k:]
+    return float((top_k == labels).any(axis=1).mean())
+
+
+def negative_log_likelihood(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean negative log-likelihood of the true labels (lower is better)."""
+    probabilities = softmax_probabilities(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    picked = probabilities[np.arange(len(labels)), labels]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def expected_calibration_error(
+    logits: np.ndarray, labels: np.ndarray, num_bins: int = 10
+) -> float:
+    """Expected calibration error with equal-width confidence bins.
+
+    ECE = sum_b (|B_b| / N) * |acc(B_b) - conf(B_b)| over confidence bins
+    ``B_b``, the standard definition used for Tab. I of the paper.
+    """
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+    probabilities = softmax_probabilities(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    confidences = probabilities.max(axis=-1)
+    predictions = probabilities.argmax(axis=-1)
+    correct = (predictions == labels).astype(np.float64)
+
+    bin_edges = np.linspace(0.0, 1.0, num_bins + 1)
+    ece = 0.0
+    total = len(labels)
+    for lower, upper in zip(bin_edges[:-1], bin_edges[1:]):
+        in_bin = (confidences > lower) & (confidences <= upper)
+        if lower == 0.0:
+            in_bin |= confidences == 0.0
+        count = int(in_bin.sum())
+        if count == 0:
+            continue
+        bin_accuracy = correct[in_bin].mean()
+        bin_confidence = confidences[in_bin].mean()
+        ece += (count / total) * abs(bin_accuracy - bin_confidence)
+    return float(ece)

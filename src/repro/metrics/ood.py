@@ -1,0 +1,55 @@
+"""Out-of-distribution detection metrics (ROC-AUC of the MSP score).
+
+Following the standard maximum-softmax-probability (MSP) baseline: the
+detector scores each input with the model's maximum softmax probability;
+in-distribution inputs should receive higher scores than OoD inputs, and
+the quality of the separation is summarised by the area under the ROC
+curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.classification import softmax_probabilities
+
+
+def max_softmax_score(logits: np.ndarray) -> np.ndarray:
+    """MSP confidence score per sample (higher = more in-distribution)."""
+    return softmax_probabilities(logits).max(axis=-1)
+
+
+def roc_auc(scores_positive: np.ndarray, scores_negative: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    ``scores_positive`` are scores of the positive (in-distribution)
+    class and ``scores_negative`` of the negative (OoD) class; ties
+    contribute 1/2, making the estimator exact.
+    """
+    positive = np.asarray(scores_positive, dtype=np.float64).reshape(-1)
+    negative = np.asarray(scores_negative, dtype=np.float64).reshape(-1)
+    if positive.size == 0 or negative.size == 0:
+        raise ValueError("both score arrays must be non-empty")
+    combined = np.concatenate([positive, negative])
+    # Midranks handle ties exactly.
+    order = combined.argsort(kind="mergesort")
+    ranks = np.empty_like(combined)
+    ranks[order] = np.arange(1, len(combined) + 1, dtype=np.float64)
+    sorted_combined = combined[order]
+    # Average ranks over tied groups.
+    unique_values, inverse, counts = np.unique(
+        sorted_combined, return_inverse=True, return_counts=True
+    )
+    cumulative = np.cumsum(counts)
+    start = cumulative - counts + 1
+    average_rank = (start + cumulative) / 2.0
+    ranks[order] = average_rank[inverse]
+
+    rank_sum_positive = ranks[: len(positive)].sum()
+    u_statistic = rank_sum_positive - len(positive) * (len(positive) + 1) / 2.0
+    return float(u_statistic / (len(positive) * len(negative)))
+
+
+def ood_roc_auc(in_distribution_logits: np.ndarray, ood_logits: np.ndarray) -> float:
+    """ROC-AUC of MSP-based OoD detection from the two sets of logits."""
+    return roc_auc(max_softmax_score(in_distribution_logits), max_softmax_score(ood_logits))

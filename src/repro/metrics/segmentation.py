@@ -1,0 +1,32 @@
+"""Dense-prediction metrics: confusion matrix and mean IoU."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Pixel-level confusion matrix of shape ``(num_classes, num_classes)``.
+
+    Entry ``[i, j]`` counts pixels with true class ``i`` predicted as ``j``.
+    """
+    predictions = np.asarray(predictions, dtype=np.int64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same number of elements")
+    valid = (labels >= 0) & (labels < num_classes)
+    indices = labels[valid] * num_classes + predictions[valid]
+    counts = np.bincount(indices, minlength=num_classes * num_classes)
+    return counts.reshape(num_classes, num_classes)
+
+
+def mean_iou(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
+    """Mean intersection-over-union across classes (classes absent from both
+    prediction and ground truth are excluded from the mean)."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    intersection = np.diag(matrix).astype(np.float64)
+    union = matrix.sum(axis=0) + matrix.sum(axis=1) - np.diag(matrix)
+    present = union > 0
+    if not present.any():
+        return float("nan")
+    return float((intersection[present] / union[present]).mean())

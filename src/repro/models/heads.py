@@ -1,0 +1,101 @@
+"""Task heads attached on top of a (possibly pruned) ResNet backbone.
+
+* :class:`ClassifierHead` — whole-model finetuning: backbone + linear
+  classifier, all parameters trainable.
+* :class:`LinearProbe` — linear evaluation: the backbone is frozen and
+  only a new linear classifier is trained on the pooled features.
+* :class:`FCNSegmentationHead` / :class:`SegmentationModel` — a small
+  fully-convolutional decoder for the dense-prediction downstream task
+  standing in for PASCAL VOC segmentation.
+"""
+
+from __future__ import annotations
+
+from repro import tensor as T
+from repro.nn import BatchNorm2d, Conv2d, Linear, Module, Upsample
+from repro.models.resnet import ResNet
+from repro.tensor import Tensor
+from repro.utils.seeding import seeded_rng
+
+
+class ClassifierHead(Module):
+    """Backbone + linear classifier for whole-model finetuning."""
+
+    def __init__(self, backbone: ResNet, num_classes: int, seed: int = 0) -> None:
+        super().__init__()
+        self.backbone = backbone
+        self.num_classes = int(num_classes)
+        self.fc = Linear(backbone.out_features, num_classes, rng=seeded_rng(seed))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.backbone(x))
+
+    def features(self, x: Tensor) -> Tensor:
+        """Pooled backbone features (used by OoD scoring and FID)."""
+        return self.backbone(x)
+
+
+class LinearProbe(Module):
+    """Frozen backbone + trainable linear classifier (linear evaluation).
+
+    Freezing is done by flipping ``requires_grad`` on the backbone
+    parameters; the optimizer built from :meth:`trainable_parameters`
+    therefore only updates the probe.
+    """
+
+    def __init__(self, backbone: ResNet, num_classes: int, seed: int = 0) -> None:
+        super().__init__()
+        self.backbone = backbone
+        self.backbone.requires_grad_(False)
+        self.num_classes = int(num_classes)
+        self.fc = Linear(backbone.out_features, num_classes, rng=seeded_rng(seed))
+
+    def trainable_parameters(self):
+        return self.fc.parameters()
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.backbone.eval()
+        with T.no_grad():
+            features = self.backbone(x).detach()
+        return self.fc(features)
+
+
+class FCNSegmentationHead(Module):
+    """Small FCN decoder: 3x3 conv, upsample back to input resolution, 1x1 classifier."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        upsample_factor: int = 8,
+        hidden_channels: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(seed)
+        self.conv = Conv2d(in_channels, hidden_channels, 3, padding=1, rng=rng)
+        self.bn = BatchNorm2d(hidden_channels)
+        self.upsample = Upsample(scale=upsample_factor)
+        self.classifier = Conv2d(hidden_channels, num_classes, 1, rng=rng)
+
+    def forward(self, feature_map: Tensor) -> Tensor:
+        out = T.relu(self.bn(self.conv(feature_map)))
+        out = self.upsample(out)
+        return self.classifier(out)
+
+
+class SegmentationModel(Module):
+    """Backbone feature map + FCN head producing per-pixel class logits."""
+
+    def __init__(self, backbone: ResNet, num_classes: int, seed: int = 0) -> None:
+        super().__init__()
+        self.backbone = backbone
+        self.num_classes = int(num_classes)
+        # The backbone downsamples 16x16 inputs by 8 (three stride-2 stages).
+        self.head = FCNSegmentationHead(
+            backbone.out_features, num_classes, upsample_factor=8, seed=seed
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        feature_map = self.backbone.forward_features(x)
+        return self.head(feature_map)

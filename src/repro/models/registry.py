@@ -1,0 +1,32 @@
+"""A small model registry so experiments can name architectures in configs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.resnet import ResNet, resnet18, resnet50
+
+_REGISTRY: Dict[str, Callable[..., ResNet]] = {}
+
+
+def register_model(name: str, factory: Callable[..., ResNet]) -> None:
+    """Register ``factory`` under ``name`` (overwrites silently are rejected)."""
+    if name in _REGISTRY:
+        raise ValueError(f"model {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def build_model(name: str, **kwargs) -> ResNet:
+    """Instantiate a registered architecture by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[name](**kwargs)
+
+
+def available_models() -> List[str]:
+    """Names of all registered architectures."""
+    return sorted(_REGISTRY)
+
+
+register_model("resnet18", resnet18)
+register_model("resnet50", resnet50)

@@ -1,0 +1,42 @@
+"""Neural-network building blocks on top of the autograd engine.
+
+Mirrors the small subset of ``torch.nn`` needed to express ResNets, FCN
+segmentation heads, and linear probes: a :class:`Module` base class with
+parameter / submodule registration, concrete layers, weight
+initialisation helpers and sequential containers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Identity,
+    Linear,
+    Conv2d,
+    BatchNorm2d,
+    ReLU,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Dropout,
+    Sequential,
+    Upsample,
+)
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "Upsample",
+    "init",
+]

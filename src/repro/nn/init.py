@@ -1,0 +1,68 @@
+"""Weight-initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so model
+construction is fully reproducible from a single seed (see
+:func:`repro.utils.seeding.seeded_rng`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense and convolutional weight shapes."""
+    if len(shape) == 2:  # (out_features, in_features)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # (out_channels, in_channels, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He-normal initialisation (ReLU gain by default), the ResNet default."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = gain / math.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He-uniform initialisation."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-normal initialisation, used for linear probe heads."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * math.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_bias(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """Default bias initialisation: uniform in ``[-1/sqrt(fan_in), 1/sqrt(fan_in)]``."""
+    bound = 1.0 / math.sqrt(max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,223 @@
+"""Concrete neural-network layers.
+
+All layers take an explicit ``rng`` (a ``numpy.random.Generator``) at
+construction time when they have learnable parameters, so that model
+creation is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro import tensor as T
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+def _default_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+class Identity(Module):
+    """Pass-through layer (useful as a disabled residual downsample path)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = _default_rng(rng)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng, gain=1.0))
+        if bias:
+            self.bias = Parameter(init.uniform_bias((out_features,), in_features, rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution layer in NCHW layout."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = _default_rng(rng)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        weight_shape = (out_channels, in_channels, self.kernel_size, self.kernel_size)
+        self.weight = Parameter(init.kaiming_normal(weight_shape, rng))
+        if bias:
+            fan_in = in_channels * self.kernel_size * self.kernel_size
+            self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return T.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of NCHW activations.
+
+    Keeps running estimates of mean and variance for evaluation mode, as
+    in the reference ResNet implementation.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            batch_mean = x.data.mean(axis=(0, 2, 3))
+            batch_var = x.data.var(axis=(0, 2, 3))
+            self.running_mean[...] = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            )
+            self.running_var[...] = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * batch_var
+            )
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normalised = (x - mean) / ((var + self.eps) ** 0.5)
+        scale = self.weight.reshape(1, -1, 1, 1)
+        shift = self.bias.reshape(1, -1, 1, 1)
+        return normalised * scale + shift
+
+
+class ReLU(Module):
+    """Rectified linear unit activation layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return T.relu(x)
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else self.kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return T.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else self.kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return T.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling producing ``(N, C)`` features."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class Dropout(Module):
+    """Inverted dropout layer (no-op in evaluation mode)."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.p = float(p)
+        self._rng = _default_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return T.dropout(x, p=self.p, training=self.training, rng=self._rng)
+
+
+class Upsample(Module):
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+
+    def __init__(self, scale: int = 2) -> None:
+        super().__init__()
+        self.scale = int(scale)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return T.conv2d_transpose_upsample(x, self.scale)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
+            modules = tuple(modules[0])
+        self._layer_names = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            setattr(self, name, module)
+            self._layer_names.append(name)
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(getattr(self, name) for name in self._layer_names)
+
+    def __len__(self) -> int:
+        return len(self._layer_names)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._layer_names[index])
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._layer_names:
+            x = getattr(self, name)(x)
+        return x

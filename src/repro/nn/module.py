@@ -1,0 +1,207 @@
+"""``Module`` and ``Parameter``: the building blocks of network definitions.
+
+A :class:`Module` automatically registers attributes that are
+:class:`Parameter`, :class:`Module`, or lists of modules, and exposes the
+usual traversal helpers (``parameters()``, ``named_parameters()``,
+``state_dict()`` / ``load_state_dict()``, ``train()`` / ``eval()``).
+
+The pruning code in :mod:`repro.pruning` relies on ``named_parameters``
+returning stable, fully-qualified names so masks can be stored and
+re-applied across models with identical architectures.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a learnable parameter of a :class:`Module`."""
+
+    def __init__(self, data, requires_grad: bool = True) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes inside ``__init__`` and implement :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place-style (rebinding the attribute)."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} is not registered")
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), parameter
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), buffer
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_buffers(child_prefix)
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters in the module tree."""
+        return sum(
+            parameter.size
+            for parameter in self.parameters()
+            if not trainable_only or parameter.requires_grad
+        )
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Gradient helpers
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.grad = None
+
+    def requires_grad_(self, flag: bool = True) -> "Module":
+        for parameter in self.parameters():
+            parameter.requires_grad = flag
+        return self
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter and buffer names to array copies."""
+        state: Dict[str, np.ndarray] = {}
+        for name, parameter in self.named_parameters():
+            state[name] = parameter.data.copy()
+        for name, buffer in self.named_buffers():
+            state[f"__buffer__.{name}"] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers from :meth:`state_dict` output."""
+        own_parameters = dict(self.named_parameters())
+        loaded = set()
+        for name, value in state.items():
+            if name.startswith("__buffer__."):
+                buffer_name = name[len("__buffer__.") :]
+                self._load_buffer(buffer_name, value, strict)
+                loaded.add(name)
+                continue
+            if name not in own_parameters:
+                if strict:
+                    raise KeyError(f"unexpected parameter {name!r} in state dict")
+                continue
+            parameter = own_parameters[name]
+            if parameter.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: model has {parameter.shape}, state has {value.shape}"
+                )
+            parameter.data = value.astype(parameter.data.dtype).copy()
+            loaded.add(name)
+        if strict:
+            missing = set(own_parameters) - {n for n in loaded if not n.startswith("__buffer__.")}
+            if missing:
+                raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+
+    def _load_buffer(self, qualified_name: str, value: np.ndarray, strict: bool) -> None:
+        parts = qualified_name.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            child = module._modules.get(part)
+            if child is None:
+                if strict:
+                    raise KeyError(f"unknown buffer {qualified_name!r}")
+                return
+            module = child
+        leaf = parts[-1]
+        if leaf not in module._buffers:
+            if strict:
+                raise KeyError(f"unknown buffer {qualified_name!r}")
+            return
+        module._set_buffer(leaf, value)
+
+    def get_parameter(self, name: str) -> Parameter:
+        """Look up a parameter by its fully-qualified name."""
+        for candidate_name, parameter in self.named_parameters():
+            if candidate_name == name:
+                return parameter
+        raise KeyError(f"no parameter named {name!r}")
+
+    def get_module(self, name: str) -> "Module":
+        """Look up a submodule by its fully-qualified (dotted) name."""
+        if not name:
+            return self
+        module: Module = self
+        for part in name.split("."):
+            child = module._modules.get(part)
+            if child is None:
+                raise KeyError(f"no submodule named {name!r}")
+            module = child
+        return module

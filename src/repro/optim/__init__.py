@@ -1,0 +1,19 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.schedules import (
+    ConstantLR,
+    MultiStepLR,
+    CosineAnnealingLR,
+    WarmupWrapper,
+)
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "ConstantLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "WarmupWrapper",
+]

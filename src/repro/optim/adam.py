@@ -1,0 +1,50 @@
+"""Adam optimizer, used for learning pruning masks (LMP) where SGD is brittle."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"invalid beta values: {betas}")
+        self.betas = (float(betas[0]), float(betas[1]))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._moments: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._steps: Dict[int, int] = {}
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        for parameter in self._active_parameters():
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            key = id(parameter)
+            first, second = self._moments.get(
+                key, (np.zeros_like(parameter.data), np.zeros_like(parameter.data))
+            )
+            step = self._steps.get(key, 0) + 1
+            first = beta1 * first + (1.0 - beta1) * grad
+            second = beta2 * second + (1.0 - beta2) * grad * grad
+            self._moments[key] = (first, second)
+            self._steps[key] = step
+            first_hat = first / (1.0 - beta1**step)
+            second_hat = second / (1.0 - beta2**step)
+            parameter.data = parameter.data - self.lr * first_hat / (np.sqrt(second_hat) + self.eps)

@@ -1,0 +1,42 @@
+"""Base optimizer interface shared by SGD and Adam."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the current learning rate.
+
+    Subclasses implement :meth:`step`, which reads ``parameter.grad`` and
+    updates ``parameter.data`` in place.  Parameters whose
+    ``requires_grad`` flag is ``False`` (e.g. frozen backbone weights
+    during linear evaluation) are skipped automatically.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def _active_parameters(self):
+        for parameter in self.parameters:
+            if parameter.requires_grad and parameter.grad is not None:
+                yield parameter

@@ -1,0 +1,96 @@
+"""Learning-rate schedules.
+
+The paper's finetuning recipe decays the learning rate by 0.1 at fixed
+epochs (a multi-step schedule); cosine annealing and warmup are provided
+for the pretraining recipes and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRSchedule:
+    """Base class: maps an epoch index to a learning rate and applies it."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float) -> None:
+        self.optimizer = optimizer
+        self.base_lr = float(base_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self, epoch: int) -> float:
+        """Set the optimizer's learning rate for ``epoch`` and return it."""
+        lr = self.lr_at(epoch)
+        self.optimizer.set_lr(lr)
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    """Constant learning rate."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class MultiStepLR(LRSchedule):
+    """Decay the learning rate by ``gamma`` at each milestone epoch.
+
+    Matches the paper's downstream finetuning recipe (decay by 0.1 at
+    epochs 50 and 100 out of 150).
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        base_lr: float,
+        milestones: Sequence[int],
+        gamma: float = 0.1,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        decays = sum(1 for milestone in self.milestones if epoch >= milestone)
+        return self.base_lr * (self.gamma**decays)
+
+
+class CosineAnnealingLR(LRSchedule):
+    """Cosine annealing from ``base_lr`` down to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        base_lr: float,
+        total_epochs: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(max(epoch, 0), self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupWrapper(LRSchedule):
+    """Linear warmup for the first ``warmup_epochs`` epochs, then delegate."""
+
+    def __init__(self, schedule: LRSchedule, warmup_epochs: int) -> None:
+        super().__init__(schedule.optimizer, schedule.base_lr)
+        self.schedule = schedule
+        self.warmup_epochs = int(warmup_epochs)
+
+    def lr_at(self, epoch: int) -> float:
+        if self.warmup_epochs > 0 and epoch < self.warmup_epochs:
+            return self.base_lr * float(epoch + 1) / self.warmup_epochs
+        return self.schedule.lr_at(epoch)

@@ -1,0 +1,57 @@
+"""Stochastic gradient descent with momentum and decoupled weight decay mask.
+
+This matches the finetuning recipe in the paper (SGD, momentum 0.9,
+weight decay 1e-4).  Weight decay is applied as L2 regularisation added
+to the gradient, the classic SGD formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD with (optionally Nesterov) momentum and L2 weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if momentum < 0.0:
+            raise ValueError("momentum must be non-negative")
+        if weight_decay < 0.0:
+            raise ValueError("weight decay must be non-negative")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires a positive momentum factor")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self._active_parameters():
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                key = id(parameter)
+                velocity = self._velocity.get(key)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[key] = velocity
+                if self.nesterov:
+                    grad = grad + self.momentum * velocity
+                else:
+                    grad = velocity
+            parameter.data = parameter.data - self.lr * grad

@@ -1,0 +1,66 @@
+"""Pruning schemes used to draw tickets from pretrained models.
+
+The paper benchmarks three schemes (Sec. II-B):
+
+* **OMP** — one-shot magnitude pruning of the pretrained weights
+  (:mod:`repro.pruning.omp`), at unstructured or structured
+  granularities (:mod:`repro.pruning.granularity`).
+* **IMP / A-IMP** — iterative magnitude pruning with a natural or
+  adversarial (minimax) training objective between pruning iterations
+  (:mod:`repro.pruning.imp`).
+* **LMP** — learnable mask pruning: a task-specific binary mask is
+  learned with a straight-through top-k estimator while the pretrained
+  weights stay frozen (:mod:`repro.pruning.lmp`).
+
+Masks are represented by :class:`repro.pruning.mask.PruningMask`, a
+name-indexed collection of binary arrays that can be applied to any
+model with the same architecture.
+"""
+
+from repro.pruning.mask import (
+    PruningMask,
+    prunable_parameter_names,
+    magnitude_mask,
+    apply_mask,
+    mask_gradients,
+)
+from repro.pruning.granularity import (
+    GRANULARITIES,
+    group_reduce_scores,
+    expand_group_mask,
+)
+from repro.pruning.omp import one_shot_magnitude_prune
+from repro.pruning.random_mask import random_mask
+from repro.pruning.imp import IMPConfig, iterative_magnitude_prune
+from repro.pruning.lmp import (
+    LMPConfig,
+    MaskedConv2d,
+    MaskedLinear,
+    attach_learnable_masks,
+    extract_learned_mask,
+    learn_mask,
+)
+from repro.pruning.schedules import geometric_sparsity_schedule, linear_sparsity_schedule
+
+__all__ = [
+    "PruningMask",
+    "prunable_parameter_names",
+    "magnitude_mask",
+    "apply_mask",
+    "mask_gradients",
+    "GRANULARITIES",
+    "group_reduce_scores",
+    "expand_group_mask",
+    "one_shot_magnitude_prune",
+    "random_mask",
+    "IMPConfig",
+    "iterative_magnitude_prune",
+    "LMPConfig",
+    "MaskedConv2d",
+    "MaskedLinear",
+    "attach_learnable_masks",
+    "extract_learned_mask",
+    "learn_mask",
+    "geometric_sparsity_schedule",
+    "linear_sparsity_schedule",
+]

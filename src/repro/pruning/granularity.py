@@ -1,0 +1,86 @@
+"""Sparsity granularities: unstructured, row-, kernel-, and channel-wise.
+
+Structured tickets (Fig. 3 of the paper) prune whole groups of weights
+so the resulting sparsity pattern maps onto real hardware speedups.  For
+a convolutional weight of shape ``(C_out, C_in, kh, kw)`` the groups
+are:
+
+* ``unstructured`` — every scalar weight is its own group;
+* ``row`` — each row of a kernel, i.e. a ``(c_out, c_in, i)`` slice of
+  length ``kw``;
+* ``kernel`` — each 2-D kernel, i.e. a ``(c_out, c_in)`` slice of shape
+  ``(kh, kw)``;
+* ``channel`` — each output filter, i.e. a ``(c_out,)`` slice of shape
+  ``(C_in, kh, kw)``.
+
+Linear weights ``(out, in)`` treat ``channel`` as rows of the matrix and
+fall back to unstructured for ``row`` / ``kernel``.
+
+The group score is the L2 norm of the group, and the group mask is
+broadcast back to the full weight shape by :func:`expand_group_mask`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Granularities ordered from fine to coarse.
+GRANULARITIES: Tuple[str, ...] = ("unstructured", "row", "kernel", "channel")
+
+
+def _group_axes(shape: Tuple[int, ...], granularity: str) -> Tuple[int, ...]:
+    """Axes reduced over when computing one score per group."""
+    if granularity == "unstructured":
+        return ()
+    if len(shape) == 4:
+        if granularity == "row":
+            return (3,)
+        if granularity == "kernel":
+            return (2, 3)
+        if granularity == "channel":
+            return (1, 2, 3)
+    elif len(shape) == 2:
+        if granularity == "channel":
+            return (1,)
+        # Row / kernel structure does not exist for dense matrices; treat
+        # them as unstructured so dense layers never dominate the pattern.
+        return ()
+    else:
+        return ()
+    raise ValueError(f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}")
+
+
+def group_reduce_scores(weights: np.ndarray, granularity: str) -> np.ndarray:
+    """Per-group importance scores (L2 norm of each group).
+
+    The returned array has the group shape: for ``unstructured`` it is
+    the full weight shape, for coarser granularities the reduced axes
+    are removed.
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}")
+    axes = _group_axes(weights.shape, granularity)
+    if not axes:
+        return np.abs(weights)
+    return np.sqrt((weights**2).sum(axis=axes))
+
+
+def expand_group_mask(
+    group_mask: np.ndarray, weight_shape: Tuple[int, ...], granularity: str
+) -> np.ndarray:
+    """Broadcast a per-group binary mask back to the full weight shape."""
+    if granularity not in GRANULARITIES:
+        raise ValueError(f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}")
+    axes = _group_axes(weight_shape, granularity)
+    if not axes:
+        if group_mask.shape != weight_shape:
+            raise ValueError(
+                f"unstructured mask shape {group_mask.shape} does not match weight shape {weight_shape}"
+            )
+        return group_mask.astype(np.float64)
+    expanded = group_mask
+    for axis in sorted(axes):
+        expanded = np.expand_dims(expanded, axis)
+    return np.broadcast_to(expanded, weight_shape).astype(np.float64).copy()

@@ -1,0 +1,233 @@
+"""Learnable mask pruning (LMP) with a straight-through top-k estimator.
+
+LMP (Sec. II-B ③ of the paper, following Ramanujan et al., 2020) keeps
+the pretrained weights **frozen** and learns, per downstream task, a
+binary mask selecting which weights participate:
+
+    min_{m_t}  l_t(f(m_t ⊙ θ_pre, x_t), y_t)   s.t.  ||m_t||_0 <= k_t
+
+Each prunable layer gets a real-valued *score* tensor the same shape as
+its weight.  During the forward pass the top-``k`` scores (by absolute
+value) within the layer are binarised to 1 and the rest to 0; during the
+backward pass the binarisation is treated as the identity
+(straight-through estimation), so the scores receive gradients and can
+be optimised with any stochastic optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import tensor as T
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module, Parameter
+from repro.optim import Adam
+from repro.pruning.mask import PruningMask
+from repro.tensor import Tensor, cross_entropy
+from repro.utils.logging import MetricLogger
+from repro.utils.seeding import seeded_rng
+
+
+def _topk_binary(values: np.ndarray, keep: int) -> np.ndarray:
+    """Binary array keeping the ``keep`` largest entries of ``|values|``."""
+    flat = np.abs(values).reshape(-1)
+    if keep >= flat.size:
+        return np.ones_like(values, dtype=np.float64)
+    if keep <= 0:
+        return np.zeros_like(values, dtype=np.float64)
+    threshold_index = flat.size - keep
+    threshold = np.partition(flat, threshold_index)[threshold_index]
+    mask = (np.abs(values) >= threshold).astype(np.float64)
+    # Ties at the threshold can keep slightly more than ``keep`` entries;
+    # trim deterministically so the L0 constraint holds exactly.
+    excess = int(mask.sum()) - keep
+    if excess > 0:
+        tied = np.argwhere((np.abs(values) == threshold) & (mask > 0))
+        for position in map(tuple, tied[:excess]):
+            mask[position] = 0.0
+    return mask
+
+
+def straight_through_topk(scores: Tensor, keep: int) -> Tensor:
+    """Binarise ``scores`` to their top-``keep`` entries with identity gradient."""
+    mask = _topk_binary(scores.data, keep)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if scores.requires_grad:
+            scores._accumulate(grad)
+
+    return Tensor._make(mask, (scores,), backward_fn, "straight_through_topk")
+
+
+class MaskedConv2d(Module):
+    """A convolution whose frozen weight is gated by a learnable binary mask."""
+
+    def __init__(self, base: Conv2d, sparsity: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.stride = base.stride
+        self.padding = base.padding
+        self.weight = Parameter(base.weight.data.copy(), requires_grad=False)
+        self.bias = (
+            Parameter(base.bias.data.copy(), requires_grad=False) if base.bias is not None else None
+        )
+        self.score = Parameter(_initial_scores(base.weight.data, rng))
+        self.keep = _keep_count(self.weight.data.size, sparsity)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mask = straight_through_topk(self.score, self.keep)
+        effective_weight = self.weight * mask
+        return T.conv2d(x, effective_weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def current_mask(self) -> np.ndarray:
+        return _topk_binary(self.score.data, self.keep)
+
+
+class MaskedLinear(Module):
+    """A linear layer whose frozen weight is gated by a learnable binary mask."""
+
+    def __init__(self, base: Linear, sparsity: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.weight = Parameter(base.weight.data.copy(), requires_grad=False)
+        self.bias = (
+            Parameter(base.bias.data.copy(), requires_grad=False) if base.bias is not None else None
+        )
+        self.score = Parameter(_initial_scores(base.weight.data, rng))
+        self.keep = _keep_count(self.weight.data.size, sparsity)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mask = straight_through_topk(self.score, self.keep)
+        effective_weight = self.weight * mask
+        out = x.matmul(effective_weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def current_mask(self) -> np.ndarray:
+        return _topk_binary(self.score.data, self.keep)
+
+
+def _initial_scores(weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Initialise scores proportional to |w| plus noise.
+
+    Seeding the scores with the weight magnitudes means LMP starts from
+    the OMP solution and then adapts it to the downstream task, which
+    both stabilises optimisation and matches the "tuning the sparsity
+    pattern instead of the weights" framing of the paper.
+    """
+    magnitudes = np.abs(weights)
+    scale = magnitudes.std() + 1e-8
+    return magnitudes + 0.1 * scale * rng.standard_normal(weights.shape)
+
+
+def _keep_count(size: int, sparsity: float) -> int:
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    return max(1, int(round(size * (1.0 - sparsity))))
+
+
+@dataclass
+class LMPConfig:
+    """Hyper-parameters of learnable mask pruning."""
+
+    sparsity: float = 0.8
+    epochs: int = 4
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    head_learning_rate: float = 0.05
+    seed: int = 0
+
+
+def attach_learnable_masks(
+    model: Module,
+    sparsity: float,
+    should_mask: Optional[Callable[[str, Module], bool]] = None,
+    seed: int = 0,
+) -> List[str]:
+    """Replace prunable Conv2d/Linear submodules with masked versions in place.
+
+    Parameters
+    ----------
+    should_mask:
+        Predicate over (qualified child name, module); defaults to
+        masking every convolution and linear layer except those whose
+        name contains ``fc`` / ``head`` / ``classifier`` (the task head
+        stays dense and trainable).
+
+    Returns the qualified names of the modules that were wrapped.
+    """
+    rng = seeded_rng(seed)
+    if should_mask is None:
+        def should_mask(name: str, module: Module) -> bool:
+            return not any(part in ("fc", "head", "classifier") for part in name.split("."))
+
+    replaced: List[str] = []
+    for parent_name, parent in list(model.named_modules()):
+        for child_name, child in list(parent._modules.items()):
+            qualified = f"{parent_name}.{child_name}" if parent_name else child_name
+            if isinstance(child, (MaskedConv2d, MaskedLinear)):
+                continue
+            if isinstance(child, Conv2d) and should_mask(qualified, child):
+                setattr(parent, child_name, MaskedConv2d(child, sparsity, rng))
+                replaced.append(qualified)
+            elif isinstance(child, Linear) and should_mask(qualified, child):
+                setattr(parent, child_name, MaskedLinear(child, sparsity, rng))
+                replaced.append(qualified)
+    return replaced
+
+
+def extract_learned_mask(model: Module) -> PruningMask:
+    """Collect the current binary masks of all masked layers as a :class:`PruningMask`."""
+    masks: Dict[str, np.ndarray] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, (MaskedConv2d, MaskedLinear)):
+            masks[f"{name}.weight" if name else "weight"] = module.current_mask()
+    if not masks:
+        raise ValueError("model has no masked layers; call attach_learnable_masks first")
+    return PruningMask(masks)
+
+
+def learn_mask(
+    model: Module,
+    dataset: ArrayDataset,
+    config: LMPConfig,
+) -> Tuple[PruningMask, MetricLogger]:
+    """Optimise the mask scores (and any dense trainable parameters) on ``dataset``.
+
+    The model must already contain masked layers (see
+    :func:`attach_learnable_masks`).  Scores are optimised with Adam;
+    the dense trainable parameters (typically just the task head) are
+    included in the same optimizer.
+    """
+    score_parameters = [
+        module.score
+        for module in model.modules()
+        if isinstance(module, (MaskedConv2d, MaskedLinear))
+    ]
+    if not score_parameters:
+        raise ValueError("model has no masked layers; call attach_learnable_masks first")
+    other_trainable = [
+        parameter
+        for parameter in model.parameters()
+        if parameter.requires_grad and all(parameter is not score for score in score_parameters)
+    ]
+    optimizer = Adam(score_parameters + other_trainable, lr=config.learning_rate)
+
+    history = MetricLogger()
+    rng = seeded_rng(config.seed)
+    loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
+    model.train()
+    for _ in range(config.epochs):
+        losses = []
+        for images, labels in loader:
+            optimizer.zero_grad()
+            logits = model(Tensor(images))
+            loss = cross_entropy(logits, labels)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        history.log(train_loss=float(np.mean(losses)) if losses else float("nan"))
+    return extract_learned_mask(model), history

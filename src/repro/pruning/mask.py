@@ -1,0 +1,255 @@
+"""Binary pruning masks keyed by fully-qualified parameter name.
+
+A :class:`PruningMask` is architecture-bound through parameter names:
+any model exposing the same ``named_parameters()`` names and shapes can
+have the mask applied, which is what allows a ticket drawn from a
+pretrained model on the source task to be re-applied after the weights
+are reloaded for a downstream task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.granularity import GRANULARITIES, expand_group_mask, group_reduce_scores
+
+
+def prunable_parameter_names(
+    model: Module, include_head: bool = False, head_prefixes: Iterable[str] = ("fc", "head", "classifier")
+) -> List[str]:
+    """Names of parameters eligible for pruning.
+
+    Only weight matrices/tensors (ndim >= 2) are pruned; biases and
+    batch-norm affine parameters are kept dense, following standard
+    lottery-ticket practice.  Task-head parameters are excluded by
+    default because the head is re-initialised for each downstream task.
+    """
+    names = []
+    for name, parameter in model.named_parameters():
+        if parameter.data.ndim < 2:
+            continue
+        if not include_head and any(part in head_prefixes for part in name.split(".")):
+            continue
+        names.append(name)
+    return names
+
+
+class PruningMask:
+    """A collection of binary masks, one per pruned parameter."""
+
+    def __init__(self, masks: Dict[str, np.ndarray]) -> None:
+        self._masks = {name: np.asarray(mask, dtype=np.float64) for name, mask in masks.items()}
+        for name, mask in self._masks.items():
+            unique = np.unique(mask)
+            if not np.all(np.isin(unique, (0.0, 1.0))):
+                raise ValueError(f"mask for {name!r} is not binary")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._masks
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._masks[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._masks)
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        return {name: mask.copy() for name, mask in self._masks.items()}
+
+    def sparsity(self) -> float:
+        """Overall fraction of masked-out (zero) weights."""
+        total = sum(mask.size for mask in self._masks.values())
+        kept = sum(mask.sum() for mask in self._masks.values())
+        return 1.0 - kept / total if total else 0.0
+
+    def per_layer_sparsity(self) -> Dict[str, float]:
+        """Fraction of zeros per masked parameter."""
+        return {
+            name: 1.0 - float(mask.sum()) / mask.size for name, mask in self._masks.items()
+        }
+
+    def num_remaining(self) -> int:
+        """Number of weights kept (mask value 1) across all layers."""
+        return int(sum(mask.sum() for mask in self._masks.values()))
+
+    # ------------------------------------------------------------------
+    # Renaming
+    # ------------------------------------------------------------------
+    def add_prefix(self, prefix: str) -> "PruningMask":
+        """Return a copy whose parameter names are prefixed with ``prefix``.
+
+        Used when a mask drawn on a bare backbone must be applied to a
+        wrapper model (e.g. ``ClassifierHead``) where the backbone lives
+        under an attribute such as ``backbone.``.
+        """
+        return PruningMask({f"{prefix}{name}": mask for name, mask in self._masks.items()})
+
+    def strip_prefix(self, prefix: str) -> "PruningMask":
+        """Return a copy with ``prefix`` removed from every parameter name.
+
+        Names that do not start with ``prefix`` (e.g. a task head that was
+        accidentally included) are dropped, since they cannot belong to
+        the backbone the mask will be re-applied to.
+        """
+        return PruningMask(
+            {
+                name[len(prefix) :]: mask
+                for name, mask in self._masks.items()
+                if name.startswith(prefix)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def intersect(self, other: "PruningMask") -> "PruningMask":
+        """Elementwise AND of two masks over their common parameters."""
+        common = set(self._masks) & set(other._masks)
+        return PruningMask({name: self._masks[name] * other._masks[name] for name in common})
+
+    def overlap(self, other: "PruningMask") -> float:
+        """Jaccard overlap of the kept-weight sets of two masks."""
+        intersection = 0.0
+        union = 0.0
+        for name in set(self._masks) & set(other._masks):
+            a = self._masks[name]
+            b = other._masks[name]
+            intersection += float((a * b).sum())
+            union += float(np.maximum(a, b).sum())
+        return intersection / union if union else 1.0
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, model: Module, strict: bool = True) -> None:
+        """Zero out masked weights of ``model`` in place."""
+        parameters = dict(model.named_parameters())
+        for name, mask in self._masks.items():
+            if name not in parameters:
+                if strict:
+                    raise KeyError(f"model has no parameter named {name!r}")
+                continue
+            parameter = parameters[name]
+            if parameter.shape != mask.shape:
+                raise ValueError(
+                    f"mask shape {mask.shape} does not match parameter {name!r} shape {parameter.shape}"
+                )
+            parameter.data = parameter.data * mask
+
+    def apply_to_gradients(self, model: Module) -> None:
+        """Zero out gradients of masked weights (keeps pruned weights at zero)."""
+        parameters = dict(model.named_parameters())
+        for name, mask in self._masks.items():
+            parameter = parameters.get(name)
+            if parameter is not None and parameter.grad is not None:
+                parameter.grad = parameter.grad * mask
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return self.as_dict()
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "PruningMask":
+        return cls(state)
+
+    @classmethod
+    def dense(cls, model: Module, parameter_names: Optional[Iterable[str]] = None) -> "PruningMask":
+        """An all-ones mask over the prunable parameters of ``model``."""
+        names = list(parameter_names) if parameter_names is not None else prunable_parameter_names(model)
+        parameters = dict(model.named_parameters())
+        return cls({name: np.ones_like(parameters[name].data) for name in names})
+
+
+def magnitude_mask(
+    model: Module,
+    sparsity: float,
+    granularity: str = "unstructured",
+    parameter_names: Optional[Iterable[str]] = None,
+    scope: str = "global",
+) -> PruningMask:
+    """Compute a magnitude-based mask at the requested sparsity.
+
+    Parameters
+    ----------
+    sparsity:
+        Target fraction of weights to remove, in ``[0, 1)``.
+    granularity:
+        One of :data:`repro.pruning.granularity.GRANULARITIES`.
+    scope:
+        ``"global"`` ranks all groups across layers jointly (the paper's
+        default); ``"layerwise"`` prunes each layer to the same ratio.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    if granularity not in GRANULARITIES:
+        raise ValueError(f"unknown granularity {granularity!r}")
+    if scope not in ("global", "layerwise"):
+        raise ValueError(f"scope must be 'global' or 'layerwise', got {scope!r}")
+
+    names = list(parameter_names) if parameter_names is not None else prunable_parameter_names(model)
+    parameters = dict(model.named_parameters())
+    scores = {name: group_reduce_scores(parameters[name].data, granularity) for name in names}
+
+    masks: Dict[str, np.ndarray] = {}
+    if scope == "layerwise":
+        for name in names:
+            group_mask = _threshold_mask(scores[name], sparsity, weights=_group_sizes(parameters[name].data, scores[name]))
+            masks[name] = expand_group_mask(group_mask, parameters[name].shape, granularity)
+        return PruningMask(masks)
+
+    # Global scope: a single threshold across all groups, with each group
+    # weighted by the number of scalar weights it controls so the overall
+    # weight-level sparsity matches the target even when layer shapes differ.
+    all_scores = np.concatenate([scores[name].reshape(-1) for name in names])
+    all_sizes = np.concatenate(
+        [np.full(scores[name].size, _group_size(parameters[name].data, scores[name])) for name in names]
+    )
+    threshold = _weighted_quantile(all_scores, all_sizes, sparsity)
+    for name in names:
+        group_mask = (scores[name] > threshold).astype(np.float64)
+        masks[name] = expand_group_mask(group_mask, parameters[name].shape, granularity)
+    return PruningMask(masks)
+
+
+def apply_mask(model: Module, mask: PruningMask) -> None:
+    """Convenience wrapper for :meth:`PruningMask.apply`."""
+    mask.apply(model)
+
+
+def mask_gradients(model: Module, mask: PruningMask) -> None:
+    """Convenience wrapper for :meth:`PruningMask.apply_to_gradients`."""
+    mask.apply_to_gradients(model)
+
+
+def _group_size(weights: np.ndarray, scores: np.ndarray) -> float:
+    return weights.size / max(scores.size, 1)
+
+
+def _group_sizes(weights: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    return np.full(scores.size, _group_size(weights, scores))
+
+
+def _threshold_mask(scores: np.ndarray, sparsity: float, weights: np.ndarray) -> np.ndarray:
+    threshold = _weighted_quantile(scores.reshape(-1), weights, sparsity)
+    return (scores > threshold).astype(np.float64)
+
+
+def _weighted_quantile(values: np.ndarray, weights: np.ndarray, quantile: float) -> float:
+    """Value below which ``quantile`` of the total weight lies."""
+    if quantile <= 0.0:
+        return -np.inf
+    order = np.argsort(values)
+    sorted_values = values[order]
+    cumulative = np.cumsum(weights[order])
+    cutoff = quantile * cumulative[-1]
+    index = int(np.searchsorted(cumulative, cutoff, side="left"))
+    index = min(index, len(sorted_values) - 1)
+    return float(sorted_values[index])

@@ -1,0 +1,41 @@
+"""One-shot magnitude pruning (OMP).
+
+OMP draws a ticket directly from the pretrained weights: weights with
+the smallest magnitudes (or groups with the smallest norms, for
+structured granularities) are removed in a single step.  Robust and
+natural tickets differ only in *which pretrained model* the mask is
+computed from (Sec. II-B ① of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.nn.module import Module
+from repro.pruning.mask import PruningMask, magnitude_mask
+
+
+def one_shot_magnitude_prune(
+    model: Module,
+    sparsity: float,
+    granularity: str = "unstructured",
+    parameter_names: Optional[Iterable[str]] = None,
+    scope: str = "global",
+    apply: bool = True,
+) -> PruningMask:
+    """Compute (and by default apply) an OMP mask on ``model``.
+
+    Returns the :class:`PruningMask`; when ``apply`` is true the model's
+    weights are zeroed in place so the returned model/mask pair is the
+    drawn ticket.
+    """
+    mask = magnitude_mask(
+        model,
+        sparsity=sparsity,
+        granularity=granularity,
+        parameter_names=parameter_names,
+        scope=scope,
+    )
+    if apply:
+        mask.apply(model)
+    return mask

@@ -1,0 +1,46 @@
+"""Random-mask baseline tickets.
+
+A standard lottery-ticket sanity check: a subnetwork whose mask is
+chosen uniformly at random at the same sparsity.  Comparing robust and
+natural tickets against this baseline separates "magnitude information
+matters" from "any subnetwork of that size would do", which sharpens the
+paper's claim that the *robustness prior* (and not sparsity alone) is
+what improves transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.granularity import GRANULARITIES, expand_group_mask, group_reduce_scores
+from repro.pruning.mask import PruningMask, prunable_parameter_names
+
+
+def random_mask(
+    model: Module,
+    sparsity: float,
+    rng: np.random.Generator,
+    granularity: str = "unstructured",
+    parameter_names: Optional[Iterable[str]] = None,
+) -> PruningMask:
+    """A uniformly random binary mask at the requested per-layer sparsity."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    if granularity not in GRANULARITIES:
+        raise ValueError(f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}")
+    names = list(parameter_names) if parameter_names is not None else prunable_parameter_names(model)
+    parameters = dict(model.named_parameters())
+
+    masks = {}
+    for name in names:
+        weight = parameters[name].data
+        group_shape = group_reduce_scores(weight, granularity).shape
+        num_groups = int(np.prod(group_shape))
+        keep = max(1, int(round(num_groups * (1.0 - sparsity))))
+        flat = np.zeros(num_groups)
+        flat[rng.choice(num_groups, size=keep, replace=False)] = 1.0
+        masks[name] = expand_group_mask(flat.reshape(group_shape), weight.shape, granularity)
+    return PruningMask(masks)

@@ -1,0 +1,29 @@
+"""Sparsity schedules for iterative magnitude pruning."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def geometric_sparsity_schedule(target_sparsity: float, iterations: int) -> List[float]:
+    """Sparsity after each IMP iteration, removing a fixed *fraction of the
+    remaining* weights every iteration (the classic LTH schedule).
+
+    With ``iterations`` rounds the per-round keep ratio is
+    ``(1 - target) ** (1 / iterations)``.
+    """
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError(f"target sparsity must be in [0, 1), got {target_sparsity}")
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    keep_ratio = (1.0 - target_sparsity) ** (1.0 / iterations)
+    return [1.0 - keep_ratio ** (step + 1) for step in range(iterations)]
+
+
+def linear_sparsity_schedule(target_sparsity: float, iterations: int) -> List[float]:
+    """Sparsity after each IMP iteration, increasing linearly to the target."""
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError(f"target sparsity must be in [0, 1), got {target_sparsity}")
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    return [target_sparsity * (step + 1) / iterations for step in range(iterations)]

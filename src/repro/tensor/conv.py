@@ -1,0 +1,272 @@
+"""Convolution and pooling operations (im2col based) for the autograd engine.
+
+All tensors follow the NCHW layout used throughout the reproduction:
+``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def im2col(
+    images: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)``.
+    kernel_size, stride, padding:
+        Convolution geometry as ``(height, width)`` pairs.
+
+    Returns
+    -------
+    columns:
+        Array of shape ``(N * out_h * out_w, C * kh * kw)``.
+    out_size:
+        The spatial output size ``(out_h, out_w)``.
+    """
+    batch, channels, height, width = images.shape
+    kernel_h, kernel_w = kernel_size
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+
+    out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
+    out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"im2col produced non-positive output size {(out_h, out_w)} "
+            f"for input {(height, width)}, kernel {kernel_size}, stride {stride}, padding {padding}"
+        )
+
+    if pad_h or pad_w:
+        images = np.pad(
+            images,
+            ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)),
+            mode="constant",
+        )
+
+    strides = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(batch, channels, out_h, out_w, kernel_h, kernel_w),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride_h,
+            strides[3] * stride_w,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> (N * out_h * out_w, C * kh * kw)
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel_h * kernel_w
+    )
+    return np.ascontiguousarray(columns), (out_h, out_w)
+
+
+def col2im(
+    columns: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Fold columns back into images, accumulating overlaps (adjoint of im2col)."""
+    batch, channels, height, width = image_shape
+    kernel_h, kernel_w = kernel_size
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+
+    out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
+    out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
+
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad_h, width + 2 * pad_w), dtype=columns.dtype
+    )
+    reshaped = columns.reshape(batch, out_h, out_w, channels, kernel_h, kernel_w)
+    reshaped = reshaped.transpose(0, 3, 4, 5, 1, 2)  # (N, C, kh, kw, out_h, out_w)
+    for i in range(kernel_h):
+        i_end = i + stride_h * out_h
+        for j in range(kernel_w):
+            j_end = j + stride_w * out_w
+            padded[:, :, i:i_end:stride_h, j:j_end:stride_w] += reshaped[:, :, i, j]
+    if pad_h or pad_w:
+        return padded[:, :, pad_h : pad_h + height, pad_w : pad_w + width]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride=1,
+    padding=0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) in NCHW layout.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional bias of shape ``(C_out,)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    out_channels, in_channels, kernel_h, kernel_w = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {x.shape[1]} channels, weight expects {in_channels}"
+        )
+
+    columns, (out_h, out_w) = im2col(x.data, (kernel_h, kernel_w), stride, padding)
+    weight_matrix = weight.data.reshape(out_channels, -1)
+    output = columns @ weight_matrix.T  # (N*out_h*out_w, C_out)
+    if bias is not None:
+        output = output + bias.data.reshape(1, -1)
+    batch = x.shape[0]
+    out_data = output.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        # grad: (N, C_out, out_h, out_w)
+        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        if weight.requires_grad:
+            grad_weight = grad_matrix.T @ columns
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_matrix.sum(axis=0))
+        if x.requires_grad:
+            grad_columns = grad_matrix @ weight_matrix
+            grad_input = col2im(
+                grad_columns, x.shape, (kernel_h, kernel_w), stride, padding
+            )
+            x._accumulate(grad_input)
+
+    return Tensor._make(out_data, parents, backward_fn, "conv2d")
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the spatial dimensions of an NCHW tensor."""
+    x = as_tensor(x)
+    pad = int(padding)
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad[:, :, pad:-pad or None, pad:-pad or None])
+
+    return Tensor._make(out_data, (x,), backward_fn, "pad2d")
+
+
+def max_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) spatial windows."""
+    x = as_tensor(x)
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    batch, channels, height, width = x.shape
+
+    columns, (out_h, out_w) = im2col(
+        x.data.reshape(batch * channels, 1, height, width), kernel, stride, (0, 0)
+    )
+    # columns: (N*C*out_h*out_w, kh*kw)
+    argmax = columns.argmax(axis=1)
+    out_flat = columns[np.arange(columns.shape[0]), argmax]
+    out_data = out_flat.reshape(batch, channels, out_h, out_w)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_columns = np.zeros_like(columns)
+        grad_columns[np.arange(columns.shape[0]), argmax] = grad.reshape(-1)
+        grad_input = col2im(
+            grad_columns,
+            (batch * channels, 1, height, width),
+            kernel,
+            stride,
+            (0, 0),
+        )
+        x._accumulate(grad_input.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward_fn, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
+    """Average pooling over spatial windows."""
+    x = as_tensor(x)
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    batch, channels, height, width = x.shape
+
+    columns, (out_h, out_w) = im2col(
+        x.data.reshape(batch * channels, 1, height, width), kernel, stride, (0, 0)
+    )
+    out_data = columns.mean(axis=1).reshape(batch, channels, out_h, out_w)
+    window = kernel[0] * kernel[1]
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_columns = np.repeat(grad.reshape(-1, 1), window, axis=1) / window
+        grad_input = col2im(
+            grad_columns,
+            (batch * channels, 1, height, width),
+            kernel,
+            stride,
+            (0, 0),
+        )
+        x._accumulate(grad_input.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward_fn, "avg_pool2d")
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only ``output_size == 1`` (global pooling) is needed."""
+    if output_size != 1:
+        raise NotImplementedError("only global average pooling (output_size=1) is supported")
+    x = as_tensor(x)
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+def conv2d_transpose_upsample(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour spatial upsampling by an integer ``scale``.
+
+    This stands in for a learned transposed convolution in the FCN
+    segmentation head; the subsequent 1x1/3x3 convolutions supply the
+    learnable mixing.
+    """
+    x = as_tensor(x)
+    scale = int(scale)
+    out_data = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        batch, channels, height, width = x.shape
+        reshaped = grad.reshape(batch, channels, height, scale, width, scale)
+        x._accumulate(reshaped.sum(axis=(3, 5)))
+
+    return Tensor._make(out_data, (x,), backward_fn, "upsample")

@@ -1,0 +1,70 @@
+"""Model evaluation helpers: logits, clean / adversarial / corruption accuracy."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.pgd import PGDConfig, pgd_attack
+from repro.data.corruptions import available_corruptions, corrupt
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad
+
+
+def predict_logits(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    """Run the model in evaluation mode and return logits for ``images``."""
+    model.eval()
+    outputs = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            batch = images[start : start + batch_size]
+            outputs.append(model(Tensor(batch)).data)
+    return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+
+
+def evaluate_accuracy(model: Module, dataset: ArrayDataset, batch_size: int = 64) -> float:
+    """Top-1 accuracy (per-pixel accuracy for dense labels)."""
+    logits = predict_logits(model, dataset.images, batch_size=batch_size)
+    predictions = logits.argmax(axis=1)
+    return float((predictions == dataset.labels).mean())
+
+
+def evaluate_adversarial_accuracy(
+    model: Module,
+    dataset: ArrayDataset,
+    attack: Optional[PGDConfig] = None,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> float:
+    """Accuracy under a PGD attack with the given configuration."""
+    attack = attack if attack is not None else PGDConfig()
+    rng = np.random.default_rng(seed)
+    model.eval()
+    correct = 0
+    total = 0
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    for images, labels in loader:
+        adversarial = pgd_attack(model, images, labels, attack, rng=rng)
+        with no_grad():
+            logits = model(Tensor(adversarial)).data
+        correct += int((logits.argmax(axis=1) == labels).sum())
+        total += len(labels)
+    return correct / total if total else float("nan")
+
+
+def evaluate_corruption_accuracy(
+    model: Module,
+    dataset: ArrayDataset,
+    severity: int = 3,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> float:
+    """Mean accuracy across all implemented corruptions at the given severity."""
+    accuracies = []
+    for index, corruption in enumerate(available_corruptions()):
+        corrupted = corrupt(dataset.images, corruption, severity=severity, seed=seed + index)
+        logits = predict_logits(model, corrupted, batch_size=batch_size)
+        accuracies.append(float((logits.argmax(axis=1) == dataset.labels).mean()))
+    return float(np.mean(accuracies))

@@ -1,0 +1,77 @@
+"""Adversarial training "for free" (Shafahi et al., 2019).
+
+Cited by the paper among the defence methods, free adversarial training
+amortises the cost of the inner maximisation: each mini-batch is
+replayed ``replays`` times, and every replay reuses the *same* backward
+pass both to update the model parameters and to take an FGSM-style step
+on a persistent perturbation.  For ``replays = m`` it approaches the
+robustness of m-step PGD training at roughly the cost of natural
+training, which matters here because adversarial pretraining is the
+most expensive stage of the robust-ticket pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+from repro.data.dataset import DataLoader
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, cross_entropy
+from repro.training.trainer import Trainer, TrainerConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pruning.mask import PruningMask
+
+
+class FreeAdversarialTrainer(Trainer):
+    """Free adversarial training: shared backward pass for weights and perturbation."""
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[TrainerConfig] = None,
+        epsilon: float = 0.03,
+        replays: int = 4,
+        mask: Optional["PruningMask"] = None,
+        parameters: Optional[Iterable[Parameter]] = None,
+    ) -> None:
+        super().__init__(model, config=config, mask=mask, parameters=parameters)
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if replays < 1:
+            raise ValueError("replays must be at least 1")
+        self.epsilon = float(epsilon)
+        self.replays = int(replays)
+        self._delta: Optional[np.ndarray] = None
+
+    def _train_one_epoch(self, loader: DataLoader) -> float:
+        self.model.train()
+        losses = []
+        for images, labels in loader:
+            if self._delta is None or self._delta.shape != images.shape:
+                self._delta = np.zeros_like(images)
+            for _ in range(self.replays):
+                perturbed = Tensor(
+                    np.clip(np.clip(images + self._delta, 0.0, 1.0), images - self.epsilon, images + self.epsilon),
+                    requires_grad=True,
+                )
+                self.optimizer.zero_grad()
+                loss = cross_entropy(self.model(perturbed), labels)
+                loss.backward()
+                # One backward pass serves two updates: ascend the perturbation...
+                if perturbed.grad is not None and self.epsilon > 0:
+                    self._delta = np.clip(
+                        self._delta + self.epsilon * np.sign(perturbed.grad),
+                        -self.epsilon,
+                        self.epsilon,
+                    )
+                # ... and descend the model parameters.
+                if self.mask is not None:
+                    self.mask.apply_to_gradients(self.model)
+                self.optimizer.step()
+                if self.mask is not None:
+                    self.mask.apply(self.model)
+                losses.append(loss.item())
+        return float(np.mean(losses)) if losses else float("nan")

@@ -1,0 +1,42 @@
+"""Gaussian-noise-augmented training, the base training of randomized smoothing.
+
+Cohen et al. (2019) train the base classifier on inputs perturbed with
+the same Gaussian noise that will be used by the smoothed classifier.
+This is the "RS" robust pretraining scheme compared in Fig. 6 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+from repro.attacks.smoothing import gaussian_augment
+from repro.nn.module import Module, Parameter
+from repro.training.trainer import Trainer, TrainerConfig
+from repro.utils.seeding import seeded_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pruning.mask import PruningMask
+
+
+class GaussianAugmentTrainer(Trainer):
+    """Standard training on Gaussian-noise-augmented inputs."""
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[TrainerConfig] = None,
+        sigma: float = 0.12,
+        mask: Optional["PruningMask"] = None,
+        parameters: Optional[Iterable[Parameter]] = None,
+    ) -> None:
+        super().__init__(model, config=config, mask=mask, parameters=parameters)
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = float(sigma)
+        self._noise_rng = seeded_rng(self.config.seed + 29)
+
+    def prepare_batch(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return gaussian_augment(images, self.sigma, self._noise_rng)

@@ -1,0 +1,31 @@
+"""Checkpoint serialisation: model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> str:
+    """Save a state dict to ``path`` (``.npz`` appended if missing).
+
+    Parameter names may contain dots, which ``np.savez`` handles fine as
+    archive member names.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    np.savez(path, **state)
+    return path
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}

@@ -1,0 +1,51 @@
+"""Lightweight logging helpers used by training loops and experiment runners."""
+
+from __future__ import annotations
+
+import logging
+from collections import defaultdict
+from typing import Dict, List
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a configured logger (idempotent: handlers added once)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+    return logger
+
+
+class MetricLogger:
+    """Accumulates scalar metric series keyed by name.
+
+    Used by trainers to record per-epoch losses/accuracies and by the
+    experiment runners to collect sweep results before tabulation.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[float]] = defaultdict(list)
+
+    def log(self, **metrics: float) -> None:
+        for name, value in metrics.items():
+            self._series[name].append(float(value))
+
+    def series(self, name: str) -> List[float]:
+        return list(self._series[name])
+
+    def last(self, name: str, default: float = float("nan")) -> float:
+        values = self._series.get(name)
+        return values[-1] if values else default
+
+    def mean(self, name: str) -> float:
+        values = self._series.get(name, [])
+        return float(sum(values) / len(values)) if values else float("nan")
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {name: list(values) for name, values in self._series.items()}

@@ -1,0 +1,31 @@
+"""Wall-clock timing helper for benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None

@@ -1,0 +1,83 @@
+"""Shared fixtures: tiny models, tiny tasks, deterministic RNGs.
+
+Everything here is intentionally minuscule (base width 4, a few dozen
+samples, one or two epochs) so the whole unit-test suite runs in a few
+minutes on CPU; the benchmark harness exercises the realistic scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.data.tasks import downstream_task, source_task
+from repro.models.heads import ClassifierHead
+from repro.models.resnet import resnet18, resnet50
+from repro.utils.seeding import seeded_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return seeded_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_backbone():
+    """A ResNet-18 backbone small enough for per-test forward passes."""
+    return resnet18(base_width=4, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_bottleneck_backbone():
+    """A ResNet-50 (Bottleneck) backbone at minimal width."""
+    return resnet50(base_width=4, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_source_task():
+    """A small source task shared across tests (session-scoped, read-only)."""
+    return source_task(num_classes=6, train_size=96, test_size=48, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_downstream_task():
+    """A small downstream task shared across tests (session-scoped, read-only)."""
+    return downstream_task("cifar10", train_size=80, test_size=48, seed=7)
+
+
+@pytest.fixture
+def tiny_classifier(tiny_source_task):
+    """A fresh, untrained classifier over the tiny source task."""
+    backbone = resnet18(base_width=4, seed=1)
+    return ClassifierHead(backbone, num_classes=tiny_source_task.num_classes, seed=2)
+
+
+@pytest.fixture
+def small_batch(rng):
+    """A small random image batch with labels (8 samples, 6 classes)."""
+    images = rng.uniform(0.0, 1.0, size=(8, 3, 16, 16))
+    labels = rng.integers(0, 6, size=8)
+    return images, labels
+
+
+@pytest.fixture
+def toy_dataset(rng) -> ArrayDataset:
+    """A linearly separable toy image dataset (two blob classes)."""
+    num_per_class = 24
+    images = []
+    labels = []
+    for label in range(2):
+        base = np.zeros((3, 16, 16))
+        if label == 0:
+            base[:, :8, :] = 0.8
+        else:
+            base[:, 8:, :] = 0.8
+        for _ in range(num_per_class):
+            sample = np.clip(base + rng.normal(0, 0.05, size=base.shape), 0, 1)
+            images.append(sample)
+            labels.append(label)
+    images = np.stack(images)
+    labels = np.asarray(labels, dtype=np.int64)
+    order = rng.permutation(len(labels))
+    return ArrayDataset(images[order], labels[order])

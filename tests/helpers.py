@@ -1,0 +1,62 @@
+"""Test helpers: numerical gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_gradient(
+    func: Callable[[np.ndarray], float], point: np.ndarray, epsilon: float = 1e-5
+) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar function."""
+    point = np.asarray(point, dtype=np.float64)
+    gradient = np.zeros_like(point)
+    flat = point.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = func(point)
+        flat[index] = original - epsilon
+        lower = func(point)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+def check_gradient(
+    build_loss: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert that analytic gradients match central differences.
+
+    ``build_loss`` maps an input tensor to a scalar loss tensor; it is
+    re-invoked for every finite-difference probe so it must be a pure
+    function of its input.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    tensor = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad
+
+    def scalar_loss(point: np.ndarray) -> float:
+        return build_loss(Tensor(point.copy())).item()
+
+    numeric = numeric_gradient(scalar_loss, value)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def random_shapes(rng: np.random.Generator, count: int = 3, max_dim: int = 4) -> Sequence[tuple]:
+    """A few random small shapes for parameterised shape tests."""
+    shapes = []
+    for _ in range(count):
+        ndim = int(rng.integers(1, 4))
+        shapes.append(tuple(int(rng.integers(1, max_dim + 1)) for _ in range(ndim)))
+    return shapes

@@ -1,0 +1,85 @@
+"""Tests for the experiments CLI and ticket serialisation."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.tickets import Ticket
+from repro.experiments.cli import build_parser, main
+from repro.experiments.registry import available_experiments
+from repro.models.resnet import resnet18
+from repro.pruning.mask import magnitude_mask
+
+
+class TestCLI:
+    def test_list_option_prints_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for name in available_experiments():
+            assert name in output
+
+    def test_no_arguments_lists_and_exits_cleanly(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.scale == "smoke"
+        assert args.csv is None
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--scale", "galactic"])
+
+
+class TestTicketSerialisation:
+    def make_ticket(self) -> Ticket:
+        backbone = resnet18(base_width=4, seed=0)
+        mask = magnitude_mask(backbone, sparsity=0.6)
+        return Ticket(
+            scheme="omp",
+            prior="adversarial",
+            model_name="resnet18",
+            base_width=4,
+            sparsity=mask.sparsity(),
+            mask=mask,
+            backbone_state=backbone.state_dict(),
+            granularity="unstructured",
+            metadata={"requested_sparsity": "0.6"},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        ticket = self.make_ticket()
+        path = ticket.save(os.path.join(tmp_path, "ticket"))
+        loaded = Ticket.load(path)
+        assert loaded.scheme == ticket.scheme
+        assert loaded.prior == ticket.prior
+        assert loaded.base_width == ticket.base_width
+        assert loaded.sparsity == pytest.approx(ticket.sparsity)
+        assert loaded.metadata == ticket.metadata
+        assert loaded.mask.names() == ticket.mask.names()
+        np.testing.assert_array_equal(
+            loaded.backbone_state["conv1.weight"], ticket.backbone_state["conv1.weight"]
+        )
+
+    def test_loaded_ticket_materialises_identically(self, tmp_path):
+        ticket = self.make_ticket()
+        path = ticket.save(os.path.join(tmp_path, "ticket"))
+        loaded = Ticket.load(path)
+        original = ticket.materialise(seed=1)
+        restored = loaded.materialise(seed=1)
+        np.testing.assert_array_equal(
+            original.conv1.weight.data, restored.conv1.weight.data
+        )
+
+    def test_load_rejects_non_ticket_archive(self, tmp_path):
+        from repro.utils.checkpoint import save_state_dict
+
+        path = save_state_dict({"w": np.zeros(3)}, os.path.join(tmp_path, "not_a_ticket"))
+        with pytest.raises(ValueError):
+            Ticket.load(path)

@@ -1,0 +1,42 @@
+"""Smoke checks on the example scripts.
+
+Full example runs belong to the documentation workflow (they pretrain
+real models and take minutes); here we verify that every example parses,
+exposes a ``main`` entry point, and only imports public ``repro`` API —
+so a refactor that breaks an example is caught by the unit suite.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_FILES) >= 3, "the deliverable requires at least three examples"
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    functions = {node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions, f"{path.name} must define main()"
+    assert ast.get_docstring(tree), f"{path.name} must have a module docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every repro import used by an example must exist in the installed package."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            module = __import__(node.module, fromlist=[alias.name for alias in node.names])
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name} imports {alias.name!r} from {node.module}, which does not exist"
+                )

@@ -1,0 +1,168 @@
+"""Unit tests for activation functions and losses."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    clip,
+    cross_entropy,
+    dropout,
+    leaky_relu,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+    where,
+)
+
+from tests.helpers import check_gradient
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out.data, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self, rng):
+        value = rng.normal(size=(4, 4)) + 0.05  # keep away from the kink
+        check_gradient(lambda t: (relu(t) ** 2).sum(), value)
+
+    def test_leaky_relu(self, rng):
+        out = leaky_relu(Tensor([-2.0, 3.0]), negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        check_gradient(lambda t: leaky_relu(t, 0.2).sum(), rng.normal(size=(5,)) + 0.05)
+
+    def test_sigmoid_range_and_gradient(self, rng):
+        value = rng.normal(size=(6,)) * 3
+        out = sigmoid(Tensor(value))
+        assert np.all((out.data > 0) & (out.data < 1))
+        check_gradient(lambda t: (sigmoid(t) ** 2).sum(), value)
+
+    def test_sigmoid_extreme_values_are_stable(self):
+        out = sigmoid(Tensor([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out.data))
+
+    def test_tanh_gradient(self, rng):
+        check_gradient(lambda t: tanh(t).sum(), rng.normal(size=(3, 3)))
+
+    def test_clip(self, rng):
+        out = clip(Tensor([-2.0, 0.5, 9.0]), 0.0, 1.0)
+        np.testing.assert_array_equal(out.data, [0.0, 0.5, 1.0])
+        value = rng.uniform(0.2, 0.8, size=(5,))
+        check_gradient(lambda t: (clip(t, 0.0, 1.0) ** 2).sum(), value)
+
+    def test_where(self, rng):
+        condition = np.array([True, False, True])
+        a = rng.normal(size=3)
+        b = rng.normal(size=3)
+        out = where(condition, Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, np.where(condition, a, b))
+        check_gradient(lambda t: (where(condition, t, Tensor(b)) ** 2).sum(), a)
+        check_gradient(lambda t: (where(condition, Tensor(a), t) ** 2).sum(), b)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(4, 7))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4))
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            log_softmax(Tensor(logits)).data, np.log(softmax(Tensor(logits)).data), atol=1e-12
+        )
+
+    def test_log_softmax_stable_for_large_logits(self):
+        out = log_softmax(Tensor([[1000.0, 0.0], [0.0, -1000.0]]))
+        assert np.all(np.isfinite(out.data))
+
+    def test_log_softmax_gradient(self, rng):
+        logits = rng.normal(size=(4, 6))
+        check_gradient(lambda t: (log_softmax(t, axis=1) ** 2).sum(), logits)
+
+
+class TestLosses:
+    def test_one_hot(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        loss = cross_entropy(Tensor(logits), labels)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(5), labels].mean()
+        assert loss.item() == pytest.approx(expected)
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 5, size=6)
+        check_gradient(lambda t: cross_entropy(t, labels), logits)
+        check_gradient(lambda t: cross_entropy(t, labels, reduction="sum"), logits)
+
+    def test_cross_entropy_label_smoothing(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 3, size=4)
+        smoothed = cross_entropy(Tensor(logits), labels, label_smoothing=0.1)
+        plain = cross_entropy(Tensor(logits), labels)
+        assert smoothed.item() != pytest.approx(plain.item())
+        check_gradient(lambda t: cross_entropy(t, labels, label_smoothing=0.1), logits)
+
+    def test_cross_entropy_invalid_reduction(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 2))), np.array([0, 1]), reduction="bogus")
+
+    def test_nll_dense_prediction(self, rng):
+        log_probs = log_softmax(Tensor(rng.normal(size=(2, 3, 4, 4))), axis=1)
+        labels = rng.integers(0, 3, size=(2, 4, 4))
+        loss = nll_loss(log_probs, labels)
+        assert np.isscalar(loss.item())
+        assert loss.item() > 0
+
+    def test_dense_cross_entropy_gradient(self, rng):
+        logits = rng.normal(size=(2, 3, 2, 2))
+        labels = rng.integers(0, 3, size=(2, 2, 2))
+
+        def loss_fn(t):
+            return nll_loss(log_softmax(t, axis=1), labels)
+
+        check_gradient(loss_fn, logits)
+
+    def test_mse_loss(self, rng):
+        prediction = rng.normal(size=(3, 3))
+        target = rng.normal(size=(3, 3))
+        loss = mse_loss(Tensor(prediction), Tensor(target))
+        assert loss.item() == pytest.approx(((prediction - target) ** 2).mean())
+        check_gradient(lambda t: mse_loss(t, Tensor(target)), prediction)
+        with pytest.raises(ValueError):
+            mse_loss(Tensor(prediction), Tensor(target), reduction="bad")
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        value = rng.normal(size=(4, 4))
+        out = dropout(Tensor(value), p=0.5, training=False)
+        np.testing.assert_array_equal(out.data, value)
+
+    def test_zero_probability_is_identity(self, rng):
+        value = rng.normal(size=(4, 4))
+        out = dropout(Tensor(value), p=0.0, training=True)
+        np.testing.assert_array_equal(out.data, value)
+
+    def test_training_mode_zeroes_and_rescales(self, rng):
+        value = np.ones((1000,))
+        out = dropout(Tensor(value), p=0.5, training=True, rng=rng)
+        zero_fraction = float((out.data == 0).mean())
+        assert 0.35 < zero_fraction < 0.65
+        kept = out.data[out.data != 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), p=1.0, training=True)

@@ -1,0 +1,155 @@
+"""Unit tests for concrete layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Upsample,
+)
+from repro.nn import init
+from repro.tensor import Tensor
+from repro.utils.seeding import seeded_rng
+
+
+class TestLinear:
+    def test_output_shape_and_value(self, rng):
+        layer = Linear(5, 3, rng=seeded_rng(0))
+        x = rng.normal(size=(7, 5))
+        out = layer(Tensor(x))
+        assert out.shape == (7, 3)
+        np.testing.assert_allclose(out.data, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=seeded_rng(0))
+        assert layer.bias is None
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_deterministic_construction(self):
+        a = Linear(4, 4, rng=seeded_rng(3))
+        b = Linear(4, 4, rng=seeded_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=seeded_rng(0))
+        out = layer(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_bias_toggle(self, rng):
+        layer = Conv2d(3, 4, 3, bias=False, rng=seeded_rng(0))
+        assert layer.bias is None
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self, rng):
+        layer = BatchNorm2d(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_update_and_eval(self, rng):
+        layer = BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(loc=1.0, size=(16, 2, 4, 4))
+        layer(Tensor(x))
+        assert not np.allclose(layer.running_mean, 0.0)
+        layer.eval()
+        running_mean_before = layer.running_mean.copy()
+        layer(Tensor(rng.normal(size=(4, 2, 4, 4))))
+        np.testing.assert_array_equal(layer.running_mean, running_mean_before)
+
+    def test_rejects_non_nchw(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(rng.normal(size=(2, 3))))
+
+    def test_gradients_flow_to_affine_parameters(self, rng):
+        layer = BatchNorm2d(3)
+        out = layer(Tensor(rng.normal(size=(4, 3, 4, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestSimpleLayers:
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)))
+        assert Identity()(x) is x
+
+    def test_relu_layer(self):
+        out = ReLU()(Tensor([-1.0, 1.0]))
+        np.testing.assert_array_equal(out.data, [0.0, 1.0])
+
+    def test_pool_layers(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 8, 8)))
+        assert MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert AvgPool2d(4)(x).shape == (1, 2, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (1, 2)
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.normal(size=(3, 2, 4, 4))))
+        assert out.shape == (3, 32)
+
+    def test_upsample(self, rng):
+        out = Upsample(2)(Tensor(rng.normal(size=(1, 2, 4, 4))))
+        assert out.shape == (1, 2, 8, 8)
+
+    def test_dropout_respects_mode(self, rng):
+        layer = Dropout(0.9, rng=seeded_rng(0))
+        x = Tensor(np.ones((100,)))
+        layer.eval()
+        np.testing.assert_array_equal(layer(x).data, 1.0)
+        layer.train()
+        assert (layer(x).data == 0).any()
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        model = Sequential(Linear(4, 8, rng=seeded_rng(0)), ReLU(), Linear(8, 2, rng=seeded_rng(1)))
+        out = model(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 2)
+
+    def test_indexing_len_iter(self):
+        layers = [Linear(2, 2, rng=seeded_rng(0)), ReLU()]
+        model = Sequential(*layers)
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+        assert len(list(iter(model))) == 2
+
+    def test_accepts_list_argument(self):
+        model = Sequential([Linear(2, 2, rng=seeded_rng(0)), ReLU()])
+        assert len(model) == 2
+
+    def test_parameters_collected_from_children(self):
+        model = Sequential(Linear(2, 3, rng=seeded_rng(0)), Linear(3, 1, rng=seeded_rng(1)))
+        assert len(model.parameters()) == 4
+
+
+class TestInit:
+    def test_kaiming_normal_scale(self):
+        rng = seeded_rng(0)
+        weights = init.kaiming_normal((256, 64, 3, 3), rng)
+        fan_in = 64 * 9
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.05)
+
+    def test_xavier_uniform_bounds(self):
+        rng = seeded_rng(0)
+        weights = init.xavier_uniform((50, 30), rng)
+        bound = np.sqrt(6.0 / 80)
+        assert np.abs(weights).max() <= bound
+
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((3,)) == 0)
+        assert np.all(init.ones((3,)) == 1)

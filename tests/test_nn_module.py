@@ -1,0 +1,141 @@
+"""Unit tests for the Module / Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, Sequential, ReLU
+from repro.nn.layers import BatchNorm2d, Conv2d
+from repro.utils.seeding import seeded_rng
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        rng = seeded_rng(0)
+        self.first = Linear(4, 8, rng=rng)
+        self.second = Linear(8, 2, rng=rng)
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+
+class TestRegistration:
+    def test_parameters_are_registered(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["first.weight", "first.bias", "second.weight", "second.bias"]
+
+    def test_named_modules_includes_nested(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert names == ["", "first", "second"]
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_num_parameters_trainable_only(self):
+        model = TwoLayer()
+        model.first.weight.requires_grad = False
+        expected = model.num_parameters() - model.first.weight.size
+        assert model.num_parameters(trainable_only=True) == expected
+
+    def test_get_parameter_and_module(self):
+        model = TwoLayer()
+        assert model.get_parameter("first.weight") is model.first.weight
+        assert model.get_module("second") is model.second
+        assert model.get_module("") is model
+        with pytest.raises(KeyError):
+            model.get_parameter("does.not.exist")
+        with pytest.raises(KeyError):
+            model.get_module("missing")
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(3, 3), ReLU(), Linear(3, 2))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_requires_grad_toggle(self):
+        model = TwoLayer()
+        model.requires_grad_(False)
+        assert all(not parameter.requires_grad for parameter in model.parameters())
+        model.requires_grad_(True)
+        assert all(parameter.requires_grad for parameter in model.parameters())
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        model.first.weight.grad = np.ones_like(model.first.weight.data)
+        model.zero_grad()
+        assert model.first.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        other = TwoLayer()
+        # Perturb then restore.
+        other.first.weight.data += 1.0
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(other.first.weight.data, model.first.weight.data)
+
+    def test_state_dict_copies_data(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][...] = 0.0
+        assert not np.all(model.first.weight.data == 0.0)
+
+    def test_strict_missing_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["second.bias"]
+        with pytest.raises(KeyError):
+            TwoLayer().load_state_dict(state)
+
+    def test_strict_unexpected_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            TwoLayer().load_state_dict(state)
+        # Non-strict loading ignores the extra key.
+        TwoLayer().load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            TwoLayer().load_state_dict(state)
+
+    def test_buffers_roundtrip(self):
+        bn = BatchNorm2d(3)
+        bn.running_mean[...] = 5.0
+        state = bn.state_dict()
+        assert "__buffer__.running_mean" in state
+        fresh = BatchNorm2d(3)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.running_mean, 5.0 * np.ones(3))
+
+    def test_nested_buffers_roundtrip(self):
+        model = Sequential(Conv2d(3, 4, 3, rng=seeded_rng(0)), BatchNorm2d(4))
+        model[1].running_var[...] = 2.5
+        state = model.state_dict()
+        fresh = Sequential(Conv2d(3, 4, 3, rng=seeded_rng(1)), BatchNorm2d(4))
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh[1].running_var, 2.5 * np.ones(4))
+
+
+class TestParameter:
+    def test_parameter_requires_grad_by_default(self):
+        parameter = Parameter(np.zeros((2, 2)))
+        assert parameter.requires_grad
+        assert parameter.dtype == np.float64

@@ -1,0 +1,130 @@
+"""Unit tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, CosineAnnealingLR, MultiStepLR, WarmupWrapper
+from repro.tensor import Tensor
+
+
+def quadratic_loss(parameter: Parameter, target: np.ndarray) -> Tensor:
+    diff = parameter - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = quadratic_loss(parameter, target)
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            parameter = Parameter(np.array([10.0]))
+            optimizer = SGD([parameter], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                optimizer.zero_grad()
+                quadratic_loss(parameter, np.zeros(1)).backward()
+                optimizer.step()
+            return abs(float(parameter.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert float(parameter.data[0]) < 1.0
+
+    def test_skips_frozen_and_gradless_parameters(self):
+        frozen = Parameter(np.array([1.0]), requires_grad=False)
+        gradless = Parameter(np.array([2.0]))
+        optimizer = SGD([frozen, gradless], lr=0.1)
+        optimizer.step()
+        assert float(frozen.data[0]) == 1.0
+        assert float(gradless.data[0]) == 2.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=-0.5)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, weight_decay=-0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([4.0, -4.0]))
+        target = np.array([0.5, -0.5])
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(parameter, target).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.5, 0.9))
+
+    def test_weight_decay_applied(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.01, weight_decay=1.0)
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert float(parameter.data[0]) < 1.0
+
+
+class TestSchedules:
+    def make_optimizer(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_constant(self):
+        schedule = ConstantLR(self.make_optimizer(), base_lr=0.3)
+        assert schedule.lr_at(0) == schedule.lr_at(100) == 0.3
+
+    def test_multistep_decays_at_milestones(self):
+        optimizer = self.make_optimizer()
+        schedule = MultiStepLR(optimizer, base_lr=1.0, milestones=[10, 20], gamma=0.1)
+        assert schedule.lr_at(0) == 1.0
+        assert schedule.lr_at(10) == pytest.approx(0.1)
+        assert schedule.lr_at(25) == pytest.approx(0.01)
+        schedule.step(15)
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_cosine_annealing_endpoints(self):
+        schedule = CosineAnnealingLR(self.make_optimizer(), base_lr=1.0, total_epochs=10, min_lr=0.1)
+        assert schedule.lr_at(0) == pytest.approx(1.0)
+        assert schedule.lr_at(10) == pytest.approx(0.1)
+        assert 0.1 < schedule.lr_at(5) < 1.0
+
+    def test_cosine_requires_positive_epochs(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self.make_optimizer(), base_lr=1.0, total_epochs=0)
+
+    def test_warmup_wrapper(self):
+        base = ConstantLR(self.make_optimizer(), base_lr=1.0)
+        schedule = WarmupWrapper(base, warmup_epochs=4)
+        assert schedule.lr_at(0) == pytest.approx(0.25)
+        assert schedule.lr_at(3) == pytest.approx(1.0)
+        assert schedule.lr_at(10) == pytest.approx(1.0)
+
+    def test_set_lr_validation(self):
+        optimizer = self.make_optimizer()
+        with pytest.raises(ValueError):
+            optimizer.set_lr(0.0)

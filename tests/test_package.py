@@ -1,0 +1,46 @@
+"""Package-level sanity checks: version, public exports, and subpackage imports."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = [
+    "repro.tensor",
+    "repro.nn",
+    "repro.optim",
+    "repro.models",
+    "repro.data",
+    "repro.attacks",
+    "repro.training",
+    "repro.pruning",
+    "repro.core",
+    "repro.metrics",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+def test_version_is_a_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_imports_and_exports(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__") or name == "repro.utils"
+    for exported in getattr(module, "__all__", []):
+        assert hasattr(module, exported), f"{name}.__all__ lists missing attribute {exported!r}"
+
+
+def test_public_api_entry_points_exist():
+    from repro.core import RobustTicketPipeline, Ticket
+    from repro.data import downstream_task, source_task
+    from repro.experiments import run_experiment
+
+    assert callable(downstream_task) and callable(source_task)
+    assert callable(run_experiment)
+    assert RobustTicketPipeline is not None and Ticket is not None

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.classification import expected_calibration_error, softmax_probabilities
+from repro.metrics.ood import roc_auc
+from repro.metrics.segmentation import mean_iou
+from repro.pruning.lmp import _topk_binary
+from repro.pruning.mask import PruningMask, _weighted_quantile
+from repro.pruning.schedules import geometric_sparsity_schedule, linear_sparsity_schedule
+from repro.tensor import Tensor
+from repro.tensor.tensor import _unbroadcast
+
+# Keep hypothesis example counts modest: each example is cheap but the suite is large.
+DEFAULT_SETTINGS = settings(max_examples=30, deadline=None)
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=64
+)
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=finite_floats,
+)
+
+
+class TestAutogradProperties:
+    @DEFAULT_SETTINGS
+    @given(small_arrays)
+    def test_sum_gradient_is_ones(self, values):
+        tensor = Tensor(values, requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(values))
+
+    @DEFAULT_SETTINGS
+    @given(small_arrays, st.floats(min_value=-5, max_value=5, allow_nan=False))
+    def test_scalar_mul_gradient(self, values, scalar):
+        tensor = Tensor(values, requires_grad=True)
+        (tensor * scalar).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.full_like(values, scalar))
+
+    @DEFAULT_SETTINGS
+    @given(small_arrays)
+    def test_add_self_gradient_is_two(self, values):
+        tensor = Tensor(values, requires_grad=True)
+        (tensor + tensor).sum().backward()
+        np.testing.assert_allclose(tensor.grad, 2.0 * np.ones_like(values))
+
+    @DEFAULT_SETTINGS
+    @given(small_arrays)
+    def test_mean_equals_sum_over_size(self, values):
+        tensor = Tensor(values)
+        np.testing.assert_allclose(tensor.mean().data, tensor.sum().data / values.size)
+
+    @DEFAULT_SETTINGS
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+            elements=finite_floats,
+        )
+    )
+    def test_unbroadcast_inverts_broadcast(self, values):
+        broadcast = np.broadcast_to(values, (3,) + values.shape)
+        reduced = _unbroadcast(broadcast.copy(), values.shape)
+        np.testing.assert_allclose(reduced, 3.0 * values)
+
+
+class TestSoftmaxProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 8), st.integers(2, 6)),
+            elements=finite_floats,
+        )
+    )
+    def test_probabilities_valid(self, logits):
+        probabilities = softmax_probabilities(logits)
+        assert np.all(probabilities >= 0)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0, atol=1e-9)
+
+    @DEFAULT_SETTINGS
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 8), st.integers(2, 6)),
+            elements=finite_floats,
+        ),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    def test_shift_invariance(self, logits, shift):
+        np.testing.assert_allclose(
+            softmax_probabilities(logits), softmax_probabilities(logits + shift), atol=1e-9
+        )
+
+
+class TestMetricProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), min_size=1, max_size=30),
+        st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), min_size=1, max_size=30),
+    )
+    def test_roc_auc_bounds_and_symmetry(self, positive, negative):
+        positive = np.asarray(positive)
+        negative = np.asarray(negative)
+        auc = roc_auc(positive, negative)
+        assert 0.0 <= auc <= 1.0
+        # Swapping the roles mirrors the AUC around 0.5.
+        assert roc_auc(negative, positive) == pytest.approx(1.0 - auc, abs=1e-9)
+
+    @DEFAULT_SETTINGS
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 20), st.integers(2, 5)),
+            elements=finite_floats,
+        )
+    )
+    def test_ece_within_unit_interval(self, logits):
+        labels = np.arange(len(logits)) % logits.shape[1]
+        assert 0.0 <= expected_calibration_error(logits, labels) <= 1.0
+
+    @DEFAULT_SETTINGS
+    @given(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(1, 40),
+            elements=st.integers(min_value=0, max_value=3),
+        )
+    )
+    def test_miou_perfect_prediction_is_one(self, labels):
+        assert mean_iou(labels, labels, num_classes=4) == pytest.approx(1.0)
+
+
+class TestPruningProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+            elements=finite_floats,
+        ),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_topk_count_and_binary(self, values, keep):
+        mask = _topk_binary(values, keep)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+        assert int(mask.sum()) == min(keep, values.size)
+
+    @DEFAULT_SETTINGS
+    @given(
+        st.floats(min_value=0.05, max_value=0.99, allow_nan=False),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_geometric_schedule_properties(self, target, iterations):
+        schedule = geometric_sparsity_schedule(target, iterations)
+        assert len(schedule) == iterations
+        assert all(0.0 < value < 1.0 for value in schedule)
+        assert all(b > a for a, b in zip(schedule, schedule[1:]))
+        assert schedule[-1] == pytest.approx(target)
+
+    @DEFAULT_SETTINGS
+    @given(
+        st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_linear_schedule_endpoint(self, target, iterations):
+        schedule = linear_sparsity_schedule(target, iterations)
+        assert schedule[-1] == pytest.approx(target)
+
+    @DEFAULT_SETTINGS
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+            elements=st.floats(min_value=0, max_value=1, allow_nan=False),
+        )
+    )
+    def test_mask_sparsity_in_unit_interval(self, values):
+        mask = PruningMask({"w": (values > 0.5).astype(np.float64)})
+        assert 0.0 <= mask.sparsity() <= 1.0
+        assert mask.overlap(mask) == pytest.approx(1.0)
+
+    @DEFAULT_SETTINGS
+    @given(
+        st.lists(finite_floats, min_size=2, max_size=50),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_weighted_quantile_brackets_distribution(self, values, quantile):
+        values = np.asarray(values)
+        weights = np.ones_like(values)
+        threshold = _weighted_quantile(values, weights, quantile)
+        fraction_below_or_equal = float((values <= threshold).mean())
+        # At least the requested fraction of mass lies at or below the threshold.
+        assert fraction_below_or_equal >= quantile - 1.0 / len(values) - 1e-9

@@ -1,0 +1,145 @@
+"""Unit tests for convolution, pooling and the im2col/col2im machinery."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    adaptive_avg_pool2d,
+    conv2d,
+    conv2d_transpose_upsample,
+    col2im,
+    im2col,
+    max_pool2d,
+    pad2d,
+)
+
+from tests.helpers import check_gradient
+
+
+def reference_conv2d(images, weight, bias, stride, padding):
+    """Naive direct convolution used as ground truth."""
+    batch, in_channels, height, width = images.shape
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+    output = np.zeros((batch, out_channels, out_h, out_w))
+    for n in range(batch):
+        for c_out in range(out_channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = padded[
+                        n, :, i * stride : i * stride + kernel_h, j * stride : j * stride + kernel_w
+                    ]
+                    output[n, c_out, i, j] = (patch * weight[c_out]).sum()
+            if bias is not None:
+                output[n, c_out] += bias[c_out]
+    return output
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        columns, out_size = im2col(images, (3, 3), (1, 1), (1, 1))
+        assert out_size == (8, 8)
+        assert columns.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_invalid_geometry_raises(self, rng):
+        images = rng.normal(size=(1, 1, 2, 2))
+        with pytest.raises(ValueError):
+            im2col(images, (5, 5), (1, 1), (0, 0))
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        images = rng.normal(size=(2, 3, 6, 6))
+        kernel, stride, padding = (3, 3), (2, 2), (1, 1)
+        columns, _ = im2col(images, kernel, stride, padding)
+        probe = rng.normal(size=columns.shape)
+        lhs = float((columns * probe).sum())
+        folded = col2im(probe, images.shape, kernel, stride, padding)
+        rhs = float((images * folded).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_reference(self, rng, stride, padding):
+        images = rng.normal(size=(2, 3, 7, 7))
+        weight = rng.normal(size=(4, 3, 3, 3))
+        bias = rng.normal(size=(4,))
+        out = conv2d(Tensor(images), Tensor(weight), Tensor(bias), stride=stride, padding=padding)
+        expected = reference_conv2d(images, weight, bias, stride, padding)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(rng.normal(size=(1, 2, 4, 4))), Tensor(rng.normal(size=(3, 5, 3, 3))))
+
+    def test_input_gradient(self, rng):
+        weight = rng.normal(size=(2, 3, 3, 3))
+        images = rng.normal(size=(2, 3, 5, 5))
+        check_gradient(
+            lambda t: (conv2d(t, Tensor(weight), stride=1, padding=1) ** 2).sum(), images
+        )
+
+    def test_weight_and_bias_gradient(self, rng):
+        images = rng.normal(size=(2, 2, 5, 5))
+        weight = rng.normal(size=(3, 2, 3, 3))
+        bias = rng.normal(size=(3,))
+        check_gradient(
+            lambda t: (conv2d(Tensor(images), t, Tensor(bias), stride=2, padding=1) ** 2).sum(),
+            weight,
+        )
+        check_gradient(
+            lambda t: (conv2d(Tensor(images), Tensor(weight), t, stride=1, padding=0) ** 2).sum(),
+            bias,
+        )
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        images = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(images), 2)
+        np.testing.assert_array_equal(out.data.reshape(2, 2), [[5, 7], [13, 15]])
+
+    def test_max_pool_gradient(self, rng):
+        images = rng.normal(size=(2, 3, 6, 6))
+        check_gradient(lambda t: (max_pool2d(t, 2) ** 2).sum(), images)
+
+    def test_avg_pool_forward_and_gradient(self, rng):
+        images = rng.normal(size=(2, 2, 4, 4))
+        out = avg_pool2d(Tensor(images), 2)
+        expected = images.reshape(2, 2, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected)
+        check_gradient(lambda t: (avg_pool2d(t, 2) ** 2).sum(), images)
+
+    def test_adaptive_avg_pool_global(self, rng):
+        images = rng.normal(size=(2, 3, 5, 5))
+        out = adaptive_avg_pool2d(Tensor(images), 1)
+        np.testing.assert_allclose(out.data, images.mean(axis=(2, 3), keepdims=True))
+
+    def test_adaptive_avg_pool_rejects_other_sizes(self, rng):
+        with pytest.raises(NotImplementedError):
+            adaptive_avg_pool2d(Tensor(rng.normal(size=(1, 1, 4, 4))), 2)
+
+
+class TestPaddingAndUpsample:
+    def test_pad2d_forward_and_gradient(self, rng):
+        images = rng.normal(size=(1, 2, 3, 3))
+        out = pad2d(Tensor(images), 2)
+        assert out.shape == (1, 2, 7, 7)
+        np.testing.assert_allclose(out.data[:, :, 2:5, 2:5], images)
+        check_gradient(lambda t: (pad2d(t, 1) ** 2).sum(), images)
+
+    def test_upsample_forward(self):
+        images = np.arange(4, dtype=np.float64).reshape(1, 1, 2, 2)
+        out = conv2d_transpose_upsample(Tensor(images), scale=2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_array_equal(out.data[0, 0, :2, :2], [[0, 0], [0, 0]])
+        np.testing.assert_array_equal(out.data[0, 0, 2:, 2:], [[3, 3], [3, 3]])
+
+    def test_upsample_gradient(self, rng):
+        images = rng.normal(size=(2, 2, 3, 3))
+        check_gradient(lambda t: (conv2d_transpose_upsample(t, 2) ** 2).sum(), images)

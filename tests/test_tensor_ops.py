@@ -1,0 +1,217 @@
+"""Unit tests for the core autograd engine (arithmetic, reductions, shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+
+from tests.helpers import check_gradient
+
+
+class TestBasics:
+    def test_tensor_wraps_array_as_float64(self):
+        tensor = Tensor([[1, 2], [3, 4]], requires_grad=True)
+        assert tensor.dtype == np.float64
+        assert tensor.shape == (2, 2)
+        assert tensor.size == 4
+        assert tensor.ndim == 2
+
+    def test_detach_shares_data_but_drops_graph(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+        assert detached.data is tensor.data
+
+    def test_copy_is_independent(self):
+        tensor = Tensor([1.0, 2.0])
+        duplicate = tensor.copy()
+        duplicate.data[0] = 99.0
+        assert tensor.data[0] == 1.0
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_backward_requires_scalar_without_grad(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            tensor.backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_as_tensor_passthrough(self):
+        tensor = Tensor([1.0])
+        assert as_tensor(tensor) is tensor
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_constructors(self):
+        assert np.all(Tensor.zeros((2, 3)).data == 0)
+        assert np.all(Tensor.ones((2, 3)).data == 1)
+        assert np.all(Tensor.full((2,), 7.0).data == 7.0)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self, rng):
+        value = rng.normal(size=(3, 4))
+        other = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t + Tensor(other)).sum(), value)
+
+    def test_mul_gradient(self, rng):
+        value = rng.normal(size=(3, 4))
+        other = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t * Tensor(other)).sum(), value)
+
+    def test_div_gradient(self, rng):
+        value = rng.normal(size=(3, 4)) + 3.0
+        other = rng.normal(size=(3, 4)) + 3.0
+        check_gradient(lambda t: (t / Tensor(other)).sum(), value)
+        check_gradient(lambda t: (Tensor(other) / t).sum(), value)
+
+    def test_sub_and_neg_gradient(self, rng):
+        value = rng.normal(size=(2, 5))
+        check_gradient(lambda t: (-(t - 2.0) + (3.0 - t)).sum(), value)
+
+    def test_pow_gradient(self, rng):
+        value = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradient(lambda t: (t**3).sum(), value)
+        check_gradient(lambda t: (t**0.5).sum(), value)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_broadcasting_gradients(self, rng):
+        value = rng.normal(size=(3, 1, 4))
+        other = rng.normal(size=(1, 5, 4))
+        check_gradient(lambda t: (t * Tensor(other)).sum(), value)
+        check_gradient(lambda t: (t + Tensor(other)).sum(), value)
+
+    def test_scalar_broadcast_gradient(self, rng):
+        value = rng.normal(size=(2, 3))
+        check_gradient(lambda t: (t * 3.0 + 1.0).sum(), value)
+
+    def test_matmul_gradient(self, rng):
+        left = rng.normal(size=(3, 4))
+        right = rng.normal(size=(4, 2))
+        check_gradient(lambda t: t.matmul(Tensor(right)).sum(), left)
+        check_gradient(lambda t: Tensor(left).matmul(t).sum(), right)
+
+    def test_matmul_operator(self, rng):
+        left = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        right = Tensor(rng.normal(size=(3, 2)))
+        out = left @ right
+        assert out.shape == (2, 2)
+        np.testing.assert_allclose(out.data, left.data @ right.data)
+
+    def test_gradient_accumulates_over_reuse(self, rng):
+        value = rng.normal(size=(3,))
+        tensor = Tensor(value, requires_grad=True)
+        loss = (tensor * tensor).sum() + tensor.sum()
+        loss.backward()
+        np.testing.assert_allclose(tensor.grad, 2 * value + 1.0)
+
+
+class TestTranscendental:
+    def test_exp_log_sqrt_abs_gradients(self, rng):
+        value = np.abs(rng.normal(size=(3, 3))) + 0.5
+        check_gradient(lambda t: t.exp().sum(), value)
+        check_gradient(lambda t: t.log().sum(), value)
+        check_gradient(lambda t: t.sqrt().sum(), value)
+        check_gradient(lambda t: t.abs().sum(), rng.normal(size=(3, 3)) + 0.1)
+
+    def test_exp_forward(self):
+        np.testing.assert_allclose(Tensor([0.0, 1.0]).exp().data, [1.0, np.e])
+
+
+class TestReductions:
+    def test_sum_axis_gradients(self, rng):
+        value = rng.normal(size=(2, 3, 4))
+        check_gradient(lambda t: t.sum(), value)
+        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), value)
+        check_gradient(lambda t: (t.sum(axis=(0, 2)) ** 2).sum(), value)
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), value)
+
+    def test_mean_matches_numpy(self, rng):
+        value = rng.normal(size=(4, 5))
+        tensor = Tensor(value)
+        np.testing.assert_allclose(tensor.mean(axis=0).data, value.mean(axis=0))
+        np.testing.assert_allclose(tensor.mean().data, value.mean())
+
+    def test_mean_gradient(self, rng):
+        value = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), value)
+
+    def test_var_matches_numpy_biased(self, rng):
+        value = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(Tensor(value).var(axis=0).data, value.var(axis=0), atol=1e-12)
+
+    def test_max_gradient(self, rng):
+        value = rng.normal(size=(3, 5))
+        check_gradient(lambda t: (t.max(axis=1) ** 2).sum(), value)
+        check_gradient(lambda t: t.max() * 2.0, value)
+
+    def test_max_forward(self, rng):
+        value = rng.normal(size=(2, 7))
+        np.testing.assert_allclose(Tensor(value).max(axis=1).data, value.max(axis=1))
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self, rng):
+        value = rng.normal(size=(2, 6))
+        check_gradient(lambda t: (t.reshape(3, 4) ** 2).sum(), value)
+
+    def test_flatten(self, rng):
+        tensor = Tensor(rng.normal(size=(2, 3, 4)))
+        assert tensor.flatten(start_dim=1).shape == (2, 12)
+        assert tensor.flatten().shape == (24,)
+
+    def test_transpose_gradient(self, rng):
+        value = rng.normal(size=(2, 3, 4))
+        check_gradient(lambda t: (t.transpose(2, 0, 1) ** 2).sum(), value)
+        check_gradient(lambda t: (t.T ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_getitem_gradient(self, rng):
+        value = rng.normal(size=(4, 5))
+        check_gradient(lambda t: (t[1:3, ::2] ** 2).sum(), value)
+        check_gradient(lambda t: (t[0] ** 2).sum(), value)
+
+    def test_concatenate_gradient(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(4, 3))
+        check_gradient(
+            lambda t: (Tensor.concatenate([t, Tensor(b)], axis=0) ** 2).sum(), a
+        )
+
+    def test_stack_forward_and_gradient(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3))
+        stacked = Tensor.stack([Tensor(a), Tensor(b)], axis=0)
+        assert stacked.shape == (2, 2, 3)
+        check_gradient(lambda t: (Tensor.stack([t, Tensor(b)], axis=1) ** 2).sum(), a)
+
+
+class TestComparisons:
+    def test_comparisons_return_plain_arrays(self):
+        a = Tensor([1.0, 2.0, 3.0])
+        assert isinstance(a > 1.5, np.ndarray)
+        np.testing.assert_array_equal(a > 1.5, [False, True, True])
+        np.testing.assert_array_equal(a <= 2.0, [True, True, False])
+        np.testing.assert_array_equal(a >= 3.0, [False, False, True])
+        np.testing.assert_array_equal(a < 2.0, [True, False, False])
