@@ -11,14 +11,40 @@ Each benchmark runs its experiment exactly once (``benchmark.pedantic``
 with one round): the quantity of interest is the reproduced table, not
 a timing distribution, and a single round keeps the full suite within a
 CPU-only budget.
+
+Pretrained backbones and drawn tickets persist to a per-machine sweep
+cache (see :mod:`repro.core.cache`), so re-running the suite skips the
+pretraining cost entirely.  Point ``REPRO_SWEEP_CACHE`` at a different
+directory to relocate it, or set it to an empty string to disable.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.core.cache import CACHE_ENV_VAR, default_cache_root
 from repro.experiments import ExperimentScale, ResultTable, shared_context
 from repro.experiments.config import SMOKE
+from repro.tensor import dtypes
+
+os.environ.setdefault(CACHE_ENV_VAR, default_cache_root())
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _benchmark_engine_dtype():
+    """Benchmarks measure the shipped engine: pin the float32 factory default.
+
+    When the unit suite and the benchmarks are collected into one pytest
+    process, ``tests/conftest.py`` pins float64 at import time for its
+    numerical tolerances; this session fixture restores the shipped
+    default for everything under ``benchmarks/``.
+    """
+    previous = dtypes.default_dtype()
+    dtypes.set_default_dtype(dtypes.FACTORY_DEFAULT_DTYPE)
+    yield
+    dtypes.set_default_dtype(previous)
 
 
 @pytest.fixture(scope="session")

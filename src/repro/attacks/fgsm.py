@@ -7,7 +7,7 @@ from typing import Callable
 import numpy as np
 
 from repro.nn.module import Module
-from repro.tensor import Tensor, cross_entropy
+from repro.tensor import Tensor, cross_entropy, default_dtype
 
 
 def fgsm_attack(
@@ -28,9 +28,9 @@ def fgsm_attack(
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
     if epsilon == 0:
-        return np.asarray(images, dtype=np.float64).copy()
+        return np.asarray(images, dtype=default_dtype()).copy()
 
-    inputs = Tensor(np.asarray(images, dtype=np.float64), requires_grad=True)
+    inputs = Tensor(np.asarray(images, dtype=default_dtype()), requires_grad=True)
     logits = model(inputs)
     loss = loss_fn(logits, labels)
     loss.backward()

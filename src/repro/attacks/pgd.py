@@ -13,7 +13,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.nn.module import Module
-from repro.tensor import Tensor, cross_entropy
+from repro.tensor import Tensor, cross_entropy, default_dtype
 
 
 @dataclass(frozen=True)
@@ -60,14 +60,16 @@ def pgd_attack(
     Returns a new array; the model parameters' gradients are left
     untouched (they are cleared after each inner step).
     """
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=default_dtype())
     if config.epsilon <= 0 or config.steps <= 0:
         return images.copy()
     rng = rng if rng is not None else np.random.default_rng()
     step_size = config.resolved_step_size()
 
     if config.random_start:
-        delta = rng.uniform(-config.epsilon, config.epsilon, size=images.shape)
+        delta = rng.uniform(-config.epsilon, config.epsilon, size=images.shape).astype(
+            images.dtype, copy=False
+        )
     else:
         delta = np.zeros_like(images)
     adversarial = np.clip(images + delta, clip_min, clip_max)

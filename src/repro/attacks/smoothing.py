@@ -18,7 +18,7 @@ import numpy as np
 from scipy import stats
 
 from repro.nn.module import Module
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, default_dtype, no_grad
 
 
 def gaussian_augment(
@@ -28,9 +28,10 @@ def gaussian_augment(
     if sigma < 0:
         raise ValueError("sigma must be non-negative")
     if sigma == 0:
-        return np.asarray(images, dtype=np.float64).copy()
-    noisy = np.asarray(images, dtype=np.float64) + rng.normal(0.0, sigma, size=np.shape(images))
-    return np.clip(noisy, 0.0, 1.0)
+        return np.asarray(images, dtype=default_dtype()).copy()
+    images = np.asarray(images, dtype=default_dtype())
+    noise = rng.normal(0.0, sigma, size=images.shape).astype(images.dtype, copy=False)
+    return np.clip(images + noise, 0.0, 1.0)
 
 
 @dataclass
@@ -74,7 +75,7 @@ class RandomizedSmoothing:
     def predict(self, image: np.ndarray, rng: Optional[np.random.Generator] = None) -> SmoothedPrediction:
         """Smoothed prediction and certified L2 radius for a single image (CHW)."""
         rng = rng if rng is not None else np.random.default_rng()
-        counts = self._class_counts(np.asarray(image, dtype=np.float64), rng)
+        counts = self._class_counts(np.asarray(image, dtype=default_dtype()), rng)
         top_class = int(counts.argmax())
         top_count = int(counts[top_class])
 

@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.nn.module import Module
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, default_dtype, no_grad
 
 
 @dataclass(frozen=True)
@@ -59,7 +59,7 @@ def square_attack(
     """Craft black-box adversarial examples by greedy random square search."""
     config = config if config is not None else SquareAttackConfig()
     rng = rng if rng is not None else np.random.default_rng()
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=default_dtype())
     labels = np.asarray(labels, dtype=np.int64)
     if config.epsilon <= 0 or config.iterations <= 0:
         return images.copy()
@@ -68,7 +68,9 @@ def square_attack(
     model.eval()
 
     # Start from random vertical-stripe noise at +/- epsilon (as in the original).
-    stripes = rng.choice([-config.epsilon, config.epsilon], size=(batch, channels, 1, width))
+    stripes = rng.choice([-config.epsilon, config.epsilon], size=(batch, channels, 1, width)).astype(
+        images.dtype, copy=False
+    )
     adversarial = np.clip(images + stripes, clip_min, clip_max)
     adversarial = np.clip(adversarial, images - config.epsilon, images + config.epsilon)
     best_loss = _per_sample_loss(model, adversarial, labels)
@@ -77,7 +79,9 @@ def square_attack(
         side = config.square_side(iteration, min(height, width))
         top = rng.integers(0, height - side + 1, size=batch)
         left = rng.integers(0, width - side + 1, size=batch)
-        signs = rng.choice([-config.epsilon, config.epsilon], size=(batch, channels, 1, 1))
+        signs = rng.choice([-config.epsilon, config.epsilon], size=(batch, channels, 1, 1)).astype(
+            images.dtype, copy=False
+        )
 
         proposal = adversarial.copy()
         for index in range(batch):

@@ -15,6 +15,7 @@ The central object is the :class:`~repro.core.pipeline.RobustTicketPipeline`:
 scheme of step 1, which is exactly the comparison the paper makes.
 """
 
+from repro.core.cache import SweepCache, default_cache_root
 from repro.core.tickets import Ticket
 from repro.core.transfer import (
     TransferResult,
@@ -26,6 +27,8 @@ from repro.core.pipeline import PipelineConfig, RobustTicketPipeline
 from repro.core.evaluate import PropertyReport, evaluate_properties
 
 __all__ = [
+    "SweepCache",
+    "default_cache_root",
     "Ticket",
     "TransferResult",
     "finetune_classification",

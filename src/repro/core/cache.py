@@ -1,0 +1,151 @@
+"""Disk-backed sweep cache for pretrained backbones and drawn tickets.
+
+Every figure in the paper sweeps sparsity ratios over the same
+pretrained dense models, so across repeated benchmark/figure runs the
+dominant cost is re-pretraining identical backbones in every process.
+:class:`SweepCache` persists the two expensive artefacts of
+:class:`repro.core.pipeline.RobustTicketPipeline` —
+:class:`~repro.training.pretrain.PretrainResult` and
+:class:`~repro.core.tickets.Ticket` — as ``.npz`` archives keyed by a
+hash of every configuration field that influences them (including the
+engine compute dtype), so each scheme is pretrained once per machine
+rather than once per process.
+
+Cache layout: ``<root>/<kind>-<hash>.npz``.  Entries are self-contained
+(arrays plus a JSON header) and written atomically via a temp file +
+rename, so a crashed run never leaves a half-written entry behind.
+Invalidation is by key: any config change (or a bump of
+:data:`CACHE_FORMAT_VERSION`) produces a different hash and the stale
+files are simply never read again; deleting the cache directory is
+always safe.
+
+The cache root is chosen by the caller (``PipelineConfig.cache_dir``);
+the benchmark harness enables it via the ``REPRO_SWEEP_CACHE``
+environment variable, defaulting to :func:`default_cache_root`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.tickets import Ticket
+from repro.training.pretrain import PretrainResult
+from repro.utils.checkpoint import load_state_dict, save_state_dict
+
+#: Environment variable the benchmark harness reads the cache root from.
+#: Set it to an empty string to disable caching entirely.
+CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
+
+#: Bump to invalidate every existing cache entry after an incompatible change.
+CACHE_FORMAT_VERSION = 1
+
+_HEADER_KEY = "__sweep_cache_header__"
+
+
+def default_cache_root() -> str:
+    """The per-user default cache directory (``~/.cache/repro/sweeps``)."""
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "sweeps")
+
+
+def config_hash(payload: Dict) -> str:
+    """Deterministic short hash of a JSON-serialisable configuration dict."""
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class SweepCache:
+    """Content-addressed on-disk store for pipeline artefacts."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, f"{kind}-{key}.npz")
+
+    def _store(self, kind: str, key: str, payload: Dict[str, np.ndarray]) -> str:
+        path = self._path(kind, key)
+        temporary = save_state_dict(payload, path[: -len(".npz")] + ".tmp")
+        os.replace(temporary, path)
+        return path
+
+    def _load(self, kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
+        path = self._path(kind, key)
+        if not os.path.exists(path):
+            return None
+        try:
+            return load_state_dict(path)
+        except (OSError, ValueError, KeyError):
+            # A corrupt/truncated entry is treated as a miss; it will be
+            # overwritten by the fresh result.
+            return None
+
+    # ------------------------------------------------------------------
+    # Pretrained backbones
+    # ------------------------------------------------------------------
+    def store_pretrain(self, key: str, result: PretrainResult) -> str:
+        """Persist a :class:`PretrainResult` under ``key``."""
+        header = {
+            "version": CACHE_FORMAT_VERSION,
+            "scheme": result.scheme,
+            "model_name": result.model_name,
+            "source_accuracy": result.source_accuracy,
+            "config": result.config,
+        }
+        payload: Dict[str, np.ndarray] = {
+            _HEADER_KEY: np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        }
+        for name, value in result.backbone_state.items():
+            payload[f"backbone./{name}"] = value
+        for name, value in result.head_state.items():
+            payload[f"head./{name}"] = value
+        return self._store("pretrain", key, payload)
+
+    def load_pretrain(self, key: str) -> Optional[PretrainResult]:
+        """Fetch a cached :class:`PretrainResult`, or ``None`` on a miss."""
+        payload = self._load("pretrain", key)
+        if payload is None or _HEADER_KEY not in payload:
+            return None
+        header = json.loads(payload[_HEADER_KEY].tobytes().decode("utf-8"))
+        if header.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        return PretrainResult(
+            scheme=header["scheme"],
+            model_name=header["model_name"],
+            backbone_state={
+                name[len("backbone./") :]: value
+                for name, value in payload.items()
+                if name.startswith("backbone./")
+            },
+            head_state={
+                name[len("head./") :]: value
+                for name, value in payload.items()
+                if name.startswith("head./")
+            },
+            source_accuracy=float(header["source_accuracy"]),
+            config=dict(header["config"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Drawn tickets
+    # ------------------------------------------------------------------
+    def store_ticket(self, key: str, ticket: Ticket) -> str:
+        """Persist a drawn :class:`Ticket` under ``key``."""
+        path = self._path("ticket", key)
+        temporary = ticket.save(path[: -len(".npz")] + ".tmp")
+        os.replace(temporary, path)
+        return path
+
+    def load_ticket(self, key: str) -> Optional[Ticket]:
+        """Fetch a cached :class:`Ticket`, or ``None`` on a miss."""
+        path = self._path("ticket", key)
+        if not os.path.exists(path):
+            return None
+        try:
+            return Ticket.load(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.attacks.pgd import PGDConfig
+from repro.core.cache import CACHE_FORMAT_VERSION, SweepCache, config_hash
 from repro.core.tickets import Ticket
 from repro.core.transfer import (
     TransferResult,
@@ -29,6 +30,7 @@ from repro.models.heads import ClassifierHead
 from repro.pruning.imp import IMPConfig, iterative_magnitude_prune
 from repro.pruning.lmp import LMPConfig, attach_learnable_masks, learn_mask
 from repro.pruning.omp import one_shot_magnitude_prune
+from repro.tensor import default_dtype
 from repro.training.evaluation import evaluate_accuracy
 from repro.training.pretrain import PretrainResult, pretrain_backbone
 from repro.training.trainer import TrainerConfig
@@ -64,6 +66,10 @@ class PipelineConfig:
     attack_steps: int = 5
     smoothing_sigma: float = 0.12
     seed: int = 0
+    #: Directory of the persistent sweep cache (see
+    #: :class:`repro.core.cache.SweepCache`).  ``None`` disables disk
+    #: caching; in-process per-scheme caching always applies.
+    cache_dir: Optional[str] = None
 
     def attack(self) -> PGDConfig:
         """The PGD configuration used for adversarial pretraining / A-IMP."""
@@ -103,30 +109,82 @@ class RobustTicketPipeline:
             image_size=self.config.image_size,
         )
         self._pretrained: Dict[str, PretrainResult] = {}
+        self.cache: Optional[SweepCache] = (
+            SweepCache(self.config.cache_dir) if self.config.cache_dir else None
+        )
 
     # ------------------------------------------------------------------
     # Stage 1: pretraining
     # ------------------------------------------------------------------
     def pretrain(self, prior: str = "robust") -> PretrainResult:
-        """Pretrain (or fetch the cached) dense model for ``prior``."""
+        """Pretrain (or fetch the cached) dense model for ``prior``.
+
+        Results are cached per scheme in memory, and — when
+        ``config.cache_dir`` is set — on disk keyed by the full
+        pretraining configuration, so repeated sweep runs on one machine
+        pretrain each scheme exactly once.
+        """
         scheme = self._scheme_for(prior)
         if scheme not in self._pretrained:
-            self._pretrained[scheme] = pretrain_backbone(
-                self.config.model_name,
-                self.source,
-                scheme=scheme,
-                base_width=self.config.base_width,
-                trainer_config=self.config.trainer_config(),
-                attack=self.config.attack(),
-                smoothing_sigma=self.config.smoothing_sigma,
-                seed=self.config.seed,
-            )
+            key = self._pretrain_key(scheme)
+            result = self.cache.load_pretrain(key) if self.cache else None
+            if result is None:
+                result = pretrain_backbone(
+                    self.config.model_name,
+                    self.source,
+                    scheme=scheme,
+                    base_width=self.config.base_width,
+                    trainer_config=self.config.trainer_config(),
+                    attack=self.config.attack(),
+                    smoothing_sigma=self.config.smoothing_sigma,
+                    seed=self.config.seed,
+                )
+                if self.cache:
+                    self.cache.store_pretrain(key, result)
+            self._pretrained[scheme] = result
         return self._pretrained[scheme]
 
     def _scheme_for(self, prior: str) -> str:
         if prior not in _PRIOR_TO_SCHEME:
             raise ValueError(f"unknown prior {prior!r}; expected one of {sorted(_PRIOR_TO_SCHEME)}")
         return _PRIOR_TO_SCHEME[prior]
+
+    # ------------------------------------------------------------------
+    # Cache keys
+    # ------------------------------------------------------------------
+    def _base_key_payload(self, scheme: str) -> Dict[str, object]:
+        """Every configuration field that influences a pretrained backbone."""
+        c = self.config
+        return {
+            "version": CACHE_FORMAT_VERSION,
+            "scheme": scheme,
+            "model_name": c.model_name,
+            "base_width": c.base_width,
+            "source_task": self.source.name,
+            "source_classes": c.source_classes,
+            "source_train_size": c.source_train_size,
+            "source_test_size": c.source_test_size,
+            "image_size": c.image_size,
+            "pretrain_epochs": c.pretrain_epochs,
+            "pretrain_lr": c.pretrain_lr,
+            "pretrain_batch_size": c.pretrain_batch_size,
+            "attack_epsilon": c.attack_epsilon,
+            "attack_steps": c.attack_steps,
+            "smoothing_sigma": c.smoothing_sigma,
+            "seed": c.seed,
+            "dtype": default_dtype().name,
+        }
+
+    def _pretrain_key(self, scheme: str) -> str:
+        payload = self._base_key_payload(scheme)
+        payload["kind"] = "pretrain"
+        return config_hash(payload)
+
+    def _ticket_key(self, scheme: str, **fields) -> str:
+        payload = self._base_key_payload(scheme)
+        payload["kind"] = "ticket"
+        payload.update(fields)
+        return config_hash(payload)
 
     # ------------------------------------------------------------------
     # Stage 2: drawing tickets
@@ -138,12 +196,19 @@ class RobustTicketPipeline:
         granularity: str = "unstructured",
     ) -> Ticket:
         """Draw a ticket by one-shot magnitude pruning of the pretrained weights."""
+        key = self._ticket_key(
+            self._scheme_for(prior), ticket_scheme="omp", sparsity=sparsity, granularity=granularity
+        )
+        if self.cache:
+            cached = self.cache.load_ticket(key)
+            if cached is not None:
+                return cached
         pretrained = self.pretrain(prior)
         backbone = pretrained.build_backbone(self.config.base_width, seed=self.config.seed)
         mask = one_shot_magnitude_prune(
             backbone, sparsity=sparsity, granularity=granularity, apply=False
         )
-        return Ticket(
+        ticket = Ticket(
             scheme="omp",
             prior=pretrained.scheme,
             model_name=self.config.model_name,
@@ -154,6 +219,9 @@ class RobustTicketPipeline:
             granularity=granularity,
             metadata={"requested_sparsity": f"{sparsity:.4f}"},
         )
+        if self.cache:
+            self.cache.store_ticket(key, ticket)
+        return ticket
 
     def draw_imp_ticket(
         self,
@@ -177,8 +245,25 @@ class RobustTicketPipeline:
             raise ValueError("on must be 'upstream' or 'downstream'")
         if on == "downstream" and downstream is None:
             raise ValueError("downstream task must be provided for on='downstream'")
-        pretrained = self.pretrain(prior)
         task = self.source if on == "upstream" else downstream
+        key = self._ticket_key(
+            self._scheme_for(prior),
+            ticket_scheme="imp",
+            sparsity=sparsity,
+            granularity=granularity,
+            on=on,
+            task=task.name,
+            task_classes=task.num_classes,
+            task_train_size=len(task.train),
+            task_test_size=len(task.test),
+            iterations=iterations,
+            epochs_per_iteration=epochs_per_iteration,
+        )
+        if self.cache:
+            cached = self.cache.load_ticket(key)
+            if cached is not None:
+                return cached
+        pretrained = self.pretrain(prior)
         adversarial = self._scheme_for(prior) == "adversarial"
 
         backbone = pretrained.build_backbone(self.config.base_width, seed=self.config.seed)
@@ -194,7 +279,7 @@ class RobustTicketPipeline:
         )
         mask, _ = iterative_magnitude_prune(model, task.train, imp_config, seed=self.config.seed)
         backbone_mask = mask.strip_prefix("backbone.")
-        return Ticket(
+        ticket = Ticket(
             scheme="aimp" if adversarial else "imp",
             prior=pretrained.scheme,
             model_name=self.config.model_name,
@@ -205,6 +290,9 @@ class RobustTicketPipeline:
             granularity=granularity,
             metadata={"on": on, "task": task.name, "requested_sparsity": f"{sparsity:.4f}"},
         )
+        if self.cache:
+            self.cache.store_ticket(key, ticket)
+        return ticket
 
     # ------------------------------------------------------------------
     # Stage 3: transfer

@@ -13,6 +13,8 @@ from typing import Callable, Dict, List
 import numpy as np
 from scipy import ndimage
 
+from repro.tensor import default_dtype
+
 
 def _severity_scale(severity: int, values: List[float]) -> float:
     if not 1 <= severity <= 5:
@@ -81,4 +83,4 @@ def corrupt(
     if corruption not in _CORRUPTIONS:
         raise KeyError(f"unknown corruption {corruption!r}; available: {available_corruptions()}")
     rng = np.random.default_rng(seed)
-    return _CORRUPTIONS[corruption](np.asarray(images, dtype=np.float64), severity, rng)
+    return _CORRUPTIONS[corruption](np.asarray(images, dtype=default_dtype()), severity, rng)

@@ -6,6 +6,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.tensor import default_dtype
+
 
 class ArrayDataset:
     """A dataset held fully in memory as parallel numpy arrays.
@@ -19,7 +21,9 @@ class ArrayDataset:
     """
 
     def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
-        images = np.asarray(images, dtype=np.float64)
+        # Store images in the engine's compute dtype so every batch enters
+        # the forward pass without a per-batch cast/copy.
+        images = np.asarray(images, dtype=default_dtype())
         labels = np.asarray(labels)
         if len(images) != len(labels):
             raise ValueError(

@@ -10,8 +10,10 @@ model exactly once.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Tuple
 
+from repro.core.cache import CACHE_ENV_VAR
 from repro.core.pipeline import PipelineConfig, RobustTicketPipeline
 from repro.data.segmentation import SegmentationTask, segmentation_task
 from repro.data.tasks import TaskSpec, downstream_task, vtab_suite
@@ -32,7 +34,12 @@ class ExperimentContext:
     # Pipelines
     # ------------------------------------------------------------------
     def pipeline(self, model_name: str) -> RobustTicketPipeline:
-        """The (cached) pipeline for ``model_name`` at this scale."""
+        """The (cached) pipeline for ``model_name`` at this scale.
+
+        When the ``REPRO_SWEEP_CACHE`` environment variable names a
+        directory (the benchmark harness sets it), pretrained backbones
+        and drawn tickets additionally persist to disk across processes.
+        """
         if model_name not in self._pipelines:
             config = PipelineConfig(
                 model_name=model_name,
@@ -44,6 +51,7 @@ class ExperimentContext:
                 attack_epsilon=self.scale.attack_epsilon,
                 attack_steps=self.scale.attack_steps,
                 seed=self.scale.seed,
+                cache_dir=os.environ.get(CACHE_ENV_VAR) or None,
             )
             self._pipelines[model_name] = RobustTicketPipeline(config)
         return self._pipelines[model_name]

@@ -12,6 +12,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.tensor import default_dtype
+
 
 def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
     """Compute fan-in / fan-out for dense and convolutional weight shapes."""
@@ -30,39 +32,39 @@ def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float
     """He-normal initialisation (ReLU gain by default), the ResNet default."""
     fan_in, _ = _fan_in_fan_out(shape)
     std = gain / math.sqrt(max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
     """He-uniform initialisation."""
     fan_in, _ = _fan_in_fan_out(shape)
     bound = gain * math.sqrt(3.0 / max(fan_in, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(default_dtype(), copy=False)
 
 
 def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot-normal initialisation, used for linear probe heads."""
     fan_in, fan_out = _fan_in_fan_out(shape)
     std = gain * math.sqrt(2.0 / max(fan_in + fan_out, 1))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(default_dtype(), copy=False)
 
 
 def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot-uniform initialisation."""
     fan_in, fan_out = _fan_in_fan_out(shape)
     bound = gain * math.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(default_dtype(), copy=False)
 
 
 def uniform_bias(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
     """Default bias initialisation: uniform in ``[-1/sqrt(fan_in), 1/sqrt(fan_in)]``."""
     bound = 1.0 / math.sqrt(max(fan_in, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(default_dtype(), copy=False)
 
 
 def zeros(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=default_dtype())
 
 
 def ones(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=default_dtype())

@@ -17,14 +17,20 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, default_dtype
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is a learnable parameter of a :class:`Module`."""
+    """A :class:`Tensor` that is a learnable parameter of a :class:`Module`.
+
+    Parameters are always stored in the engine's configured compute
+    dtype (see :func:`repro.tensor.set_default_dtype`), so a model built
+    under the ``float32`` default trains and evaluates single-precision
+    end to end.
+    """
 
     def __init__(self, data, requires_grad: bool = True) -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=requires_grad)
+        super().__init__(np.asarray(data, dtype=default_dtype()), requires_grad=requires_grad)
 
 
 class Module:
@@ -52,14 +58,14 @@ class Module:
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register a non-learnable persistent array (e.g. BN running stats)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def _set_buffer(self, name: str, value: np.ndarray) -> None:
         """Update a registered buffer in place-style (rebinding the attribute)."""
         if name not in self._buffers:
             raise KeyError(f"buffer {name!r} is not registered")
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=self._buffers[name].dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------

@@ -33,7 +33,9 @@ class Adam(Optimizer):
     def step(self) -> None:
         beta1, beta2 = self.betas
         for parameter in self._active_parameters():
-            grad = parameter.grad
+            # Keep moment estimates in the parameter's compute dtype even if
+            # a float64 gradient leaks in.
+            grad = np.asarray(parameter.grad, dtype=parameter.data.dtype)
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
             key = id(parameter)

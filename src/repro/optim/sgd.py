@@ -40,7 +40,9 @@ class SGD(Optimizer):
 
     def step(self) -> None:
         for parameter in self._active_parameters():
-            grad = parameter.grad
+            # Keep the update (and therefore the velocity state) in the
+            # parameter's compute dtype even if a float64 gradient leaks in.
+            grad = np.asarray(parameter.grad, dtype=parameter.data.dtype)
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
             if self.momentum:

@@ -79,8 +79,8 @@ def expand_group_mask(
             raise ValueError(
                 f"unstructured mask shape {group_mask.shape} does not match weight shape {weight_shape}"
             )
-        return group_mask.astype(np.float64)
-    expanded = group_mask
+        return group_mask.astype(np.uint8, copy=False)
+    expanded = group_mask.astype(np.uint8, copy=False)
     for axis in sorted(axes):
         expanded = np.expand_dims(expanded, axis)
-    return np.broadcast_to(expanded, weight_shape).astype(np.float64).copy()
+    return np.ascontiguousarray(np.broadcast_to(expanded, weight_shape))

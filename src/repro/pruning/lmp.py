@@ -33,15 +33,19 @@ from repro.utils.seeding import seeded_rng
 
 
 def _topk_binary(values: np.ndarray, keep: int) -> np.ndarray:
-    """Binary array keeping the ``keep`` largest entries of ``|values|``."""
+    """Binary array keeping the ``keep`` largest entries of ``|values|``.
+
+    The mask is returned in the dtype of ``values`` (the compute dtype)
+    so gating multiplications never promote the forward pass.
+    """
     flat = np.abs(values).reshape(-1)
     if keep >= flat.size:
-        return np.ones_like(values, dtype=np.float64)
+        return np.ones_like(values)
     if keep <= 0:
-        return np.zeros_like(values, dtype=np.float64)
+        return np.zeros_like(values)
     threshold_index = flat.size - keep
     threshold = np.partition(flat, threshold_index)[threshold_index]
-    mask = (np.abs(values) >= threshold).astype(np.float64)
+    mask = (np.abs(values) >= threshold).astype(values.dtype)
     # Ties at the threshold can keep slightly more than ``keep`` entries;
     # trim deterministically so the L0 constraint holds exactly.
     excess = int(mask.sum()) - keep

@@ -38,14 +38,21 @@ def prunable_parameter_names(
 
 
 class PruningMask:
-    """A collection of binary masks, one per pruned parameter."""
+    """A collection of binary masks, one per pruned parameter.
+
+    Masks are stored as ``uint8`` arrays (not float64): they multiply
+    cleanly into weights/gradients of any compute dtype without forcing
+    a promotion to double precision, and they are 8x smaller on disk and
+    in memory when sweeping sparsity grids.
+    """
 
     def __init__(self, masks: Dict[str, np.ndarray]) -> None:
-        self._masks = {name: np.asarray(mask, dtype=np.float64) for name, mask in masks.items()}
-        for name, mask in self._masks.items():
-            unique = np.unique(mask)
-            if not np.all(np.isin(unique, (0.0, 1.0))):
+        self._masks: Dict[str, np.ndarray] = {}
+        for name, mask in masks.items():
+            array = np.asarray(mask)
+            if not np.all((array == 0) | (array == 1)):
                 raise ValueError(f"mask for {name!r} is not binary")
+            self._masks[name] = array.astype(np.uint8, copy=False)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -65,7 +72,7 @@ class PruningMask:
     def sparsity(self) -> float:
         """Overall fraction of masked-out (zero) weights."""
         total = sum(mask.size for mask in self._masks.values())
-        kept = sum(mask.sum() for mask in self._masks.values())
+        kept = sum(int(mask.sum()) for mask in self._masks.values())
         return 1.0 - kept / total if total else 0.0
 
     def per_layer_sparsity(self) -> Dict[str, float]:
@@ -109,20 +116,36 @@ class PruningMask:
     # Composition
     # ------------------------------------------------------------------
     def intersect(self, other: "PruningMask") -> "PruningMask":
-        """Elementwise AND of two masks over their common parameters."""
+        """Elementwise AND of two masks over their common parameters.
+
+        Raises :class:`ValueError` when the masks share no parameter
+        names: an empty intersection almost always means a prefix
+        mismatch (e.g. one mask drawn on a bare backbone and one on a
+        head-wrapped model), and silently returning an empty mask would
+        make every downstream sparsity/overlap statistic meaningless.
+        """
         common = set(self._masks) & set(other._masks)
+        if not common:
+            raise ValueError(
+                "masks share no parameter names; check for a prefix mismatch "
+                "(see PruningMask.add_prefix / strip_prefix)"
+            )
         return PruningMask({name: self._masks[name] * other._masks[name] for name in common})
 
     def overlap(self, other: "PruningMask") -> float:
-        """Jaccard overlap of the kept-weight sets of two masks."""
-        intersection = 0.0
-        union = 0.0
+        """Jaccard overlap of the kept-weight sets of two masks.
+
+        Masks over disjoint parameter sets (or with empty kept sets)
+        have no overlap and score ``0.0``.
+        """
+        intersection = 0
+        union = 0
         for name in set(self._masks) & set(other._masks):
             a = self._masks[name]
             b = other._masks[name]
-            intersection += float((a * b).sum())
-            union += float(np.maximum(a, b).sum())
-        return intersection / union if union else 1.0
+            intersection += int((a & b).sum())
+            union += int((a | b).sum())
+        return intersection / union if union else 0.0
 
     # ------------------------------------------------------------------
     # Application
@@ -165,7 +188,7 @@ class PruningMask:
         """An all-ones mask over the prunable parameters of ``model``."""
         names = list(parameter_names) if parameter_names is not None else prunable_parameter_names(model)
         parameters = dict(model.named_parameters())
-        return cls({name: np.ones_like(parameters[name].data) for name in names})
+        return cls({name: np.ones(parameters[name].shape, dtype=np.uint8) for name in names})
 
 
 def magnitude_mask(
@@ -201,21 +224,29 @@ def magnitude_mask(
     masks: Dict[str, np.ndarray] = {}
     if scope == "layerwise":
         for name in names:
-            group_mask = _threshold_mask(scores[name], sparsity, weights=_group_sizes(parameters[name].data, scores[name]))
+            keep = _keep_flags(
+                scores[name].reshape(-1),
+                _group_sizes(parameters[name].data, scores[name]),
+                sparsity,
+            )
+            group_mask = keep.reshape(scores[name].shape).astype(np.uint8)
             masks[name] = expand_group_mask(group_mask, parameters[name].shape, granularity)
         return PruningMask(masks)
 
-    # Global scope: a single threshold across all groups, with each group
+    # Global scope: rank all groups across layers jointly, with each group
     # weighted by the number of scalar weights it controls so the overall
     # weight-level sparsity matches the target even when layer shapes differ.
     all_scores = np.concatenate([scores[name].reshape(-1) for name in names])
     all_sizes = np.concatenate(
         [np.full(scores[name].size, _group_size(parameters[name].data, scores[name])) for name in names]
     )
-    threshold = _weighted_quantile(all_scores, all_sizes, sparsity)
+    keep = _keep_flags(all_scores, all_sizes, sparsity)
+    offset = 0
     for name in names:
-        group_mask = (scores[name] > threshold).astype(np.float64)
+        count = scores[name].size
+        group_mask = keep[offset : offset + count].reshape(scores[name].shape).astype(np.uint8)
         masks[name] = expand_group_mask(group_mask, parameters[name].shape, granularity)
+        offset += count
     return PruningMask(masks)
 
 
@@ -237,19 +268,23 @@ def _group_sizes(weights: np.ndarray, scores: np.ndarray) -> np.ndarray:
     return np.full(scores.size, _group_size(weights, scores))
 
 
-def _threshold_mask(scores: np.ndarray, sparsity: float, weights: np.ndarray) -> np.ndarray:
-    threshold = _weighted_quantile(scores.reshape(-1), weights, sparsity)
-    return (scores > threshold).astype(np.float64)
+def _keep_flags(values: np.ndarray, weights: np.ndarray, sparsity: float) -> np.ndarray:
+    """Boolean keep-flag per group: prune the lowest-scoring weight budget.
 
-
-def _weighted_quantile(values: np.ndarray, weights: np.ndarray, quantile: float) -> float:
-    """Value below which ``quantile`` of the total weight lies."""
-    if quantile <= 0.0:
-        return -np.inf
-    order = np.argsort(values)
-    sorted_values = values[order]
+    Groups are ranked by score (ascending, ties broken by position via a
+    stable sort) and pruned smallest-first until the pruned fraction of
+    the total weight reaches ``sparsity``.  Ranking — instead of the
+    earlier ``score > quantile_threshold`` comparison — makes achieved
+    sparsity track the target even when many groups tie at the
+    threshold: a layer with uniform magnitudes pruned at 0.5 keeps half
+    its groups rather than losing all of them.
+    """
+    keep = np.ones(values.size, dtype=bool)
+    if sparsity <= 0.0 or values.size == 0:
+        return keep
+    order = np.argsort(values, kind="stable")
     cumulative = np.cumsum(weights[order])
-    cutoff = quantile * cumulative[-1]
-    index = int(np.searchsorted(cumulative, cutoff, side="left"))
-    index = min(index, len(sorted_values) - 1)
-    return float(sorted_values[index])
+    budget = sparsity * cumulative[-1]
+    num_pruned = int(np.searchsorted(cumulative, budget, side="right"))
+    keep[order[:num_pruned]] = False
+    return keep

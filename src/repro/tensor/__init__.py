@@ -15,12 +15,17 @@ Public API
 ``no_grad``
     Context manager disabling graph recording (used for evaluation and
     for in-place parameter updates inside optimizers).
+Compute precision
+    ``default_dtype`` / ``set_default_dtype`` / ``default_dtype_scope``
+    configure the floating dtype the engine computes in (``float32`` by
+    default; ``float64`` for high-precision gradient checking).
 Functional operations
     ``relu``, ``softmax``, ``log_softmax``, ``cross_entropy``,
     ``conv2d``, ``max_pool2d``, ``avg_pool2d``, ... re-exported from
     :mod:`repro.tensor.functional` and :mod:`repro.tensor.conv`.
 """
 
+from repro.tensor.dtypes import default_dtype, default_dtype_scope, set_default_dtype
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
 from repro.tensor.functional import (
     relu,
@@ -50,6 +55,9 @@ from repro.tensor.conv import (
 
 __all__ = [
     "Tensor",
+    "default_dtype",
+    "default_dtype_scope",
+    "set_default_dtype",
     "no_grad",
     "is_grad_enabled",
     "as_tensor",

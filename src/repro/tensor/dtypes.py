@@ -1,0 +1,96 @@
+"""Configurable compute precision for the tensor engine.
+
+The whole substrate — tensors, gradients, parameters, optimizer state,
+attack perturbations, pruning masks — computes in a single configurable
+floating-point *default dtype*.  The shipped default is ``float32``:
+every hot path (im2col GEMMs, PGD inner loops, optimizer updates) runs
+single precision, which is roughly 2x faster and half the memory of the
+historical ``float64`` path.  ``float64`` remains fully supported and is
+what the numerical gradient-check tests pin themselves to.
+
+The default can be configured three ways, in increasing precedence:
+
+* the ``REPRO_DEFAULT_DTYPE`` environment variable (``"float32"`` /
+  ``"float64"``), read once at import;
+* :func:`set_default_dtype`, a process-wide switch;
+* :func:`default_dtype_scope`, a context manager restoring the previous
+  default on exit (what tests and dtype-parametrised code should use).
+
+Changing the default only affects tensors created afterwards; existing
+arrays keep their dtype, and mixed-precision expressions follow numpy
+promotion rules.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+
+__all__ = [
+    "FACTORY_DEFAULT_DTYPE",
+    "SUPPORTED_DTYPES",
+    "default_dtype",
+    "set_default_dtype",
+    "default_dtype_scope",
+]
+
+#: Floating dtypes the engine can be configured to compute in.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: The dtype used when neither the environment nor the caller picks one.
+FACTORY_DEFAULT_DTYPE = np.dtype(np.float32)
+
+_ENV_VAR = "REPRO_DEFAULT_DTYPE"
+
+
+def _resolve(dtype) -> np.dtype:
+    """Validate ``dtype`` (name, type, or dtype object) against the supported set."""
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ValueError(
+            f"unsupported compute dtype {resolved.name!r}; expected one of: {supported}"
+        )
+    return resolved
+
+
+def _initial_dtype() -> np.dtype:
+    name = os.environ.get(_ENV_VAR, "").strip()
+    if not name:
+        return FACTORY_DEFAULT_DTYPE
+    try:
+        return _resolve(name)
+    except (TypeError, ValueError):
+        return FACTORY_DEFAULT_DTYPE
+
+
+_default_dtype = _initial_dtype()
+
+
+def default_dtype() -> np.dtype:
+    """The floating dtype new tensors, parameters, and buffers are created with."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the engine's compute dtype; returns the resolved ``np.dtype``.
+
+    Accepts a dtype object, a numpy scalar type, or a name such as
+    ``"float32"``.  Raises :class:`ValueError` for unsupported dtypes.
+    """
+    global _default_dtype
+    _default_dtype = _resolve(dtype)
+    return _default_dtype
+
+
+@contextlib.contextmanager
+def default_dtype_scope(dtype):
+    """Temporarily switch the compute dtype, restoring the previous one on exit."""
+    previous = _default_dtype
+    set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.tensor.dtypes import default_dtype
 from repro.tensor.tensor import Tensor, as_tensor
 
 
@@ -124,7 +125,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     """Return a ``(N, num_classes)`` one-hot float encoding of integer labels."""
     labels = np.asarray(labels, dtype=np.int64).reshape(-1)
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=default_dtype())
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 

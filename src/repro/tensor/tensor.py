@@ -19,9 +19,9 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+from repro.tensor.dtypes import default_dtype
 
-_DEFAULT_DTYPE = np.float64
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 
 class _GradMode(threading.local):
@@ -83,7 +83,9 @@ class Tensor:
     ----------
     data:
         Array-like initial value.  Floating point data is stored with
-        ``float64`` precision by default.
+        the engine's configured compute precision by default (see
+        :func:`repro.tensor.dtypes.set_default_dtype`; ``float32`` out
+        of the box).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream scalar.
@@ -105,9 +107,9 @@ class Tensor:
             data = data.data
         array = np.asarray(data, dtype=dtype)
         if array.dtype.kind in "fc" and dtype is None:
-            array = array.astype(_DEFAULT_DTYPE, copy=False)
+            array = array.astype(default_dtype(), copy=False)
         elif array.dtype.kind in "iub" and dtype is None and requires_grad:
-            array = array.astype(_DEFAULT_DTYPE)
+            array = array.astype(default_dtype())
         self.data = array
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
@@ -139,7 +141,11 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
@@ -182,7 +188,7 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         """Accumulate ``grad`` into this tensor's ``.grad`` buffer."""
-        grad = np.asarray(grad, dtype=self.data.dtype if self.data.dtype.kind == "f" else _DEFAULT_DTYPE)
+        grad = np.asarray(grad, dtype=self.data.dtype if self.data.dtype.kind == "f" else default_dtype())
         if self.grad is None:
             self.grad = grad.copy() if grad.base is not None or grad.flags.writeable is False else grad
         else:
@@ -546,13 +552,25 @@ class Tensor:
     # Convenience constructors
     # ------------------------------------------------------------------
     @staticmethod
-    def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    def zeros(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(
+            np.zeros(shape, dtype=dtype if dtype is not None else default_dtype()),
+            requires_grad=requires_grad,
+            dtype=dtype,
+        )
 
     @staticmethod
-    def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    def ones(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(
+            np.ones(shape, dtype=dtype if dtype is not None else default_dtype()),
+            requires_grad=requires_grad,
+            dtype=dtype,
+        )
 
     @staticmethod
-    def full(shape, value: float, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.full(shape, value, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    def full(shape, value: float, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(
+            np.full(shape, value, dtype=dtype if dtype is not None else default_dtype()),
+            requires_grad=requires_grad,
+            dtype=dtype,
+        )

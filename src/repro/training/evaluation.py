@@ -14,14 +14,21 @@ from repro.tensor import Tensor, no_grad
 
 
 def predict_logits(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
-    """Run the model in evaluation mode and return logits for ``images``."""
+    """Run the model in evaluation mode and return logits for ``images``.
+
+    An empty ``images`` array still produces logits with the full class
+    dimension (shape ``(0, C, ...)``) by running one zero-length forward
+    pass, so downstream ``argmax(axis=1)`` keeps working.
+    """
     model.eval()
     outputs = []
     with no_grad():
         for start in range(0, len(images), batch_size):
             batch = images[start : start + batch_size]
             outputs.append(model(Tensor(batch)).data)
-    return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+        if not outputs:
+            return model(Tensor(images)).data
+    return np.concatenate(outputs, axis=0)
 
 
 def evaluate_accuracy(model: Module, dataset: ArrayDataset, batch_size: int = 64) -> float:

@@ -10,11 +10,35 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.tensor import dtypes
+
+# The unit suite pins the engine to float64: the numerical tolerances of
+# the legacy tests (and of gradient checking in general) assume double
+# precision.  The shipped float32 default is exercised explicitly by the
+# dtype-parametrised tests (``grad_dtype``) and by ``tests/test_dtypes.py``,
+# which opt in through ``default_dtype_scope``.  Set at import time so the
+# session-scoped model/task fixtures below are also built in float64.
+dtypes.set_default_dtype(np.float64)
+
 from repro.data.dataset import ArrayDataset
 from repro.data.tasks import downstream_task, source_task
 from repro.models.heads import ClassifierHead
 from repro.models.resnet import resnet18, resnet50
 from repro.utils.seeding import seeded_rng
+
+
+@pytest.fixture(autouse=True)
+def _pin_float64_engine():
+    """Re-pin float64 around every test so dtype-mutating tests cannot leak."""
+    dtypes.set_default_dtype(np.float64)
+    yield
+    dtypes.set_default_dtype(np.float64)
+
+
+@pytest.fixture(params=[np.float32, np.float64], ids=["float32", "float64"])
+def grad_dtype(request) -> type:
+    """Compute dtype a gradient check should run under (both must pass)."""
+    return request.param
 
 
 @pytest.fixture

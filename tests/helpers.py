@@ -2,18 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, default_dtype_scope
+
+#: Finite-difference step and tolerances per compute dtype.  float32
+#: needs a larger step (rounding noise in the loss) and looser
+#: tolerances; both settings still catch any wrong gradient formula,
+#: which is off by O(1).
+_GRADCHECK_SETTINGS = {
+    np.dtype(np.float64): {"epsilon": 1e-5, "atol": 1e-5, "rtol": 1e-4},
+    np.dtype(np.float32): {"epsilon": 1e-2, "atol": 1e-2, "rtol": 1e-2},
+}
 
 
 def numeric_gradient(
     func: Callable[[np.ndarray], float], point: np.ndarray, epsilon: float = 1e-5
 ) -> np.ndarray:
     """Central-difference numerical gradient of a scalar function."""
-    point = np.asarray(point, dtype=np.float64)
+    point = np.array(point, dtype=np.float64)
     gradient = np.zeros_like(point)
     flat = point.reshape(-1)
     grad_flat = gradient.reshape(-1)
@@ -31,25 +40,33 @@ def numeric_gradient(
 def check_gradient(
     build_loss: Callable[[Tensor], Tensor],
     value: np.ndarray,
-    atol: float = 1e-5,
-    rtol: float = 1e-4,
+    atol: Optional[float] = None,
+    rtol: Optional[float] = None,
+    dtype=np.float64,
 ) -> None:
     """Assert that analytic gradients match central differences.
 
     ``build_loss`` maps an input tensor to a scalar loss tensor; it is
     re-invoked for every finite-difference probe so it must be a pure
-    function of its input.
+    function of its input.  The whole check runs with ``dtype`` as the
+    engine's compute dtype, with step size and tolerances chosen per
+    dtype (see ``_GRADCHECK_SETTINGS``).
     """
-    value = np.asarray(value, dtype=np.float64)
-    tensor = Tensor(value.copy(), requires_grad=True)
-    loss = build_loss(tensor)
-    loss.backward()
-    analytic = tensor.grad
+    settings = _GRADCHECK_SETTINGS[np.dtype(dtype)]
+    atol = atol if atol is not None else settings["atol"]
+    rtol = rtol if rtol is not None else settings["rtol"]
+    with default_dtype_scope(dtype):
+        value = np.asarray(value, dtype=dtype)
+        tensor = Tensor(value.copy(), requires_grad=True)
+        loss = build_loss(tensor)
+        loss.backward()
+        analytic = tensor.grad
+        assert analytic.dtype == np.dtype(dtype)
 
-    def scalar_loss(point: np.ndarray) -> float:
-        return build_loss(Tensor(point.copy())).item()
+        def scalar_loss(point: np.ndarray) -> float:
+            return build_loss(Tensor(point.copy())).item()
 
-    numeric = numeric_gradient(scalar_loss, value)
+        numeric = numeric_gradient(scalar_loss, value, epsilon=settings["epsilon"])
     np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
 
 

@@ -202,3 +202,101 @@ class TestPipelineConfig:
         config = PipelineConfig(attack_epsilon=0.05, attack_steps=3)
         attack = config.attack()
         assert attack.epsilon == 0.05 and attack.steps == 3
+
+
+class TestSweepCache:
+    """Disk-backed caching of pretrained backbones and drawn tickets."""
+
+    @staticmethod
+    def _config(cache_dir, seed=0):
+        return PipelineConfig(
+            model_name="resnet18",
+            base_width=4,
+            source_classes=4,
+            source_train_size=48,
+            source_test_size=24,
+            pretrain_epochs=1,
+            attack_steps=2,
+            seed=seed,
+            cache_dir=str(cache_dir),
+        )
+
+    def test_pretrain_result_roundtrip(self, tmp_path):
+        from repro.core.cache import SweepCache
+        from repro.training.pretrain import PretrainResult
+
+        result = PretrainResult(
+            scheme="natural",
+            model_name="resnet18",
+            backbone_state={"conv1.weight": np.arange(8.0).reshape(2, 2, 2, 1)},
+            head_state={"weight": np.ones((3, 2))},
+            source_accuracy=0.75,
+            config={"epochs": 1.0},
+        )
+        cache = SweepCache(str(tmp_path))
+        cache.store_pretrain("abc123", result)
+        restored = cache.load_pretrain("abc123")
+        assert restored is not None
+        assert restored.scheme == "natural"
+        assert restored.source_accuracy == pytest.approx(0.75)
+        np.testing.assert_array_equal(
+            restored.backbone_state["conv1.weight"], result.backbone_state["conv1.weight"]
+        )
+        np.testing.assert_array_equal(restored.head_state["weight"], result.head_state["weight"])
+        assert cache.load_pretrain("missing") is None
+
+    def test_pretrain_persists_across_processes(self, tmp_path, monkeypatch):
+        first = RobustTicketPipeline(self._config(tmp_path))
+        trained = first.pretrain("natural")
+
+        # A fresh pipeline (same config, new "process") must hit the disk
+        # cache; make any actual pretraining attempt an error.
+        import repro.core.pipeline as pipeline_module
+
+        def fail(*args, **kwargs):
+            raise AssertionError("pretrain_backbone should not run on a cache hit")
+
+        monkeypatch.setattr(pipeline_module, "pretrain_backbone", fail)
+        second = RobustTicketPipeline(self._config(tmp_path))
+        cached = second.pretrain("natural")
+        assert cached.scheme == trained.scheme
+        for name, value in trained.backbone_state.items():
+            np.testing.assert_array_equal(cached.backbone_state[name], value)
+
+    def test_ticket_persists_across_processes(self, tmp_path, monkeypatch):
+        first = RobustTicketPipeline(self._config(tmp_path))
+        ticket = first.draw_omp_ticket("natural", sparsity=0.5)
+
+        import repro.core.pipeline as pipeline_module
+
+        def fail(*args, **kwargs):
+            raise AssertionError("pretrain_backbone should not run on a cache hit")
+
+        monkeypatch.setattr(pipeline_module, "pretrain_backbone", fail)
+        second = RobustTicketPipeline(self._config(tmp_path))
+        cached = second.draw_omp_ticket("natural", sparsity=0.5)
+        assert cached.sparsity == pytest.approx(ticket.sparsity)
+        for name in ticket.mask.names():
+            np.testing.assert_array_equal(cached.mask[name], ticket.mask[name])
+
+    def test_config_change_invalidates_cache(self, tmp_path, monkeypatch):
+        first = RobustTicketPipeline(self._config(tmp_path, seed=0))
+        first.pretrain("natural")
+
+        import repro.core.pipeline as pipeline_module
+
+        def fail(*args, **kwargs):
+            raise AssertionError("different config must miss the cache")
+
+        monkeypatch.setattr(pipeline_module, "pretrain_backbone", fail)
+        different = RobustTicketPipeline(self._config(tmp_path, seed=1))
+        with pytest.raises(AssertionError, match="must miss the cache"):
+            different.pretrain("natural")
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        from repro.core.cache import SweepCache
+
+        cache = SweepCache(str(tmp_path))
+        path = tmp_path / "pretrain-deadbeef.npz"
+        path.write_bytes(b"not an npz archive")
+        assert cache.load_pretrain("deadbeef") is None

@@ -1,0 +1,139 @@
+"""Tests for the configurable compute-precision subsystem.
+
+Covers the dtype API itself plus the contract the rest of the stack
+relies on: parameters, gradients, optimizer state, checkpoints, and
+pruning-mask application all stay in the configured dtype end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam
+from repro.pruning.mask import magnitude_mask
+from repro.tensor import Tensor, cross_entropy, default_dtype, default_dtype_scope
+from repro.tensor import dtypes
+from repro.utils.checkpoint import load_state_dict, save_state_dict
+
+
+class TestDtypeAPI:
+    def test_factory_default_is_float32(self):
+        assert dtypes.FACTORY_DEFAULT_DTYPE == np.dtype(np.float32)
+
+    def test_set_and_read_default(self):
+        resolved = dtypes.set_default_dtype("float32")
+        assert resolved == np.dtype(np.float32)
+        assert default_dtype() == np.dtype(np.float32)
+        dtypes.set_default_dtype(np.float64)
+        assert default_dtype() == np.dtype(np.float64)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unsupported compute dtype"):
+            dtypes.set_default_dtype(np.int32)
+        with pytest.raises(ValueError, match="unsupported compute dtype"):
+            dtypes.set_default_dtype("float16")
+
+    def test_scope_restores_previous_default(self):
+        before = default_dtype()
+        with default_dtype_scope(np.float32):
+            assert default_dtype() == np.dtype(np.float32)
+            with default_dtype_scope(np.float64):
+                assert default_dtype() == np.dtype(np.float64)
+            assert default_dtype() == np.dtype(np.float32)
+        assert default_dtype() == before
+
+    def test_scope_restores_on_exception(self):
+        before = default_dtype()
+        with pytest.raises(RuntimeError):
+            with default_dtype_scope(np.float32):
+                raise RuntimeError("boom")
+        assert default_dtype() == before
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["float32", "float64"])
+class TestDtypeThreading:
+    def test_tensor_constructors_follow_default(self, dtype):
+        with default_dtype_scope(dtype):
+            assert Tensor([1.0, 2.0]).dtype == dtype
+            assert Tensor([1, 2], requires_grad=True).dtype == dtype
+            assert Tensor.zeros((2, 2)).dtype == dtype
+            assert Tensor.ones((2, 2)).dtype == dtype
+            assert Tensor.full((2,), 3.0).dtype == dtype
+
+    def test_parameters_and_gradients_follow_default(self, dtype):
+        with default_dtype_scope(dtype):
+            layer = Linear(4, 3, rng=np.random.default_rng(0))
+            assert layer.weight.dtype == dtype
+            assert layer.bias.dtype == dtype
+            logits = layer(Tensor(np.ones((2, 4))))
+            assert logits.dtype == dtype
+            loss = cross_entropy(logits, np.array([0, 1]))
+            loss.backward()
+            assert layer.weight.grad.dtype == dtype
+
+    def test_optimizer_state_follows_parameter_dtype(self, dtype):
+        with default_dtype_scope(dtype):
+            parameter = Parameter(np.ones((3, 3)))
+
+            def one_step(optimizer):
+                parameter.grad = np.ones_like(parameter.data)
+                optimizer.step()
+
+            sgd = SGD([parameter], lr=0.1, momentum=0.9)
+            one_step(sgd)
+            assert parameter.data.dtype == dtype
+            assert sgd._velocity[id(parameter)].dtype == dtype
+
+            adam = Adam([parameter], lr=0.01)
+            one_step(adam)
+            assert parameter.data.dtype == dtype
+            first, second = adam._moments[id(parameter)]
+            assert first.dtype == dtype and second.dtype == dtype
+
+    def test_optimizer_state_resists_float64_gradient_leak(self, dtype):
+        with default_dtype_scope(dtype):
+            parameter = Parameter(np.ones((2, 2)))
+            sgd = SGD([parameter], lr=0.1, momentum=0.9)
+            parameter.grad = np.ones((2, 2), dtype=np.float64)  # leaked high precision
+            sgd.step()
+            assert parameter.data.dtype == dtype
+            assert sgd._velocity[id(parameter)].dtype == dtype
+
+    def test_checkpoint_roundtrips_dtype(self, dtype, tmp_path):
+        with default_dtype_scope(dtype):
+            layer = Linear(4, 3, rng=np.random.default_rng(0))
+            path = save_state_dict(layer.state_dict(), str(tmp_path / "ckpt"))
+            restored = load_state_dict(path)
+            assert all(value.dtype == dtype for value in restored.values())
+            fresh = Linear(4, 3, rng=np.random.default_rng(1))
+            fresh.load_state_dict(restored)
+            assert fresh.weight.data.dtype == dtype
+            np.testing.assert_array_equal(fresh.weight.data, layer.weight.data)
+
+    def test_mask_application_preserves_dtype(self, dtype):
+        with default_dtype_scope(dtype):
+            layer = Linear(6, 6, bias=False, rng=np.random.default_rng(0))
+            mask = magnitude_mask(layer, sparsity=0.5, parameter_names=["weight"])
+            assert mask["weight"].dtype == np.uint8
+            mask.apply(layer)
+            assert layer.weight.data.dtype == dtype
+            layer.weight.grad = np.ones_like(layer.weight.data)
+            mask.apply_to_gradients(layer)
+            assert layer.weight.grad.dtype == dtype
+            assert np.all(layer.weight.grad[mask["weight"] == 0] == 0)
+
+    def test_training_step_stays_in_dtype(self, dtype):
+        with default_dtype_scope(dtype):
+            rng = np.random.default_rng(0)
+            layer = Linear(8, 4, rng=rng)
+            optimizer = SGD(layer.parameters(), lr=0.1, momentum=0.9, weight_decay=1e-4)
+            images = rng.uniform(size=(16, 8))
+            labels = rng.integers(0, 4, size=16)
+            for _ in range(3):
+                optimizer.zero_grad()
+                loss = cross_entropy(layer(Tensor(images)), labels)
+                loss.backward()
+                optimizer.step()
+            assert layer.weight.data.dtype == dtype
+            assert np.isfinite(loss.item())

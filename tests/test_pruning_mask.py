@@ -125,6 +125,31 @@ class TestPruningMask:
         assert a.intersect(b)["w"].sum() == 1
         assert a.overlap(a) == pytest.approx(1.0)
 
+    def test_overlap_of_disjoint_masks_is_zero(self):
+        a = PruningMask({"w": np.ones((2, 2))})
+        b = PruningMask({"v": np.ones((2, 2))})
+        assert a.overlap(b) == 0.0
+
+    def test_intersect_of_disjoint_masks_raises(self):
+        a = PruningMask({"w": np.ones((2, 2))})
+        b = PruningMask({"v": np.ones((2, 2))})
+        with pytest.raises(ValueError, match="share no parameter names"):
+            a.intersect(b)
+
+    def test_masks_are_stored_as_uint8(self):
+        mask = PruningMask({"w": np.array([1.0, 0.0, 1.0])})
+        assert mask["w"].dtype == np.uint8
+        rebuilt = PruningMask.from_state_dict(mask.state_dict())
+        assert rebuilt["w"].dtype == np.uint8
+
+    def test_apply_preserves_parameter_dtype(self):
+        model = resnet18(base_width=4, seed=0)
+        parameter = model.conv1.weight
+        before = parameter.data.dtype
+        mask = magnitude_mask(model, sparsity=0.5)
+        mask.apply(model)
+        assert model.conv1.weight.data.dtype == before
+
     def test_dense_mask(self):
         model = resnet18(base_width=4, seed=0)
         dense = PruningMask.dense(model)
@@ -181,6 +206,35 @@ class TestMagnitudeMask:
         model = resnet18(base_width=4, seed=0)
         mask = magnitude_mask(model, sparsity=0.0)
         assert mask.sparsity() == 0.0
+
+    @pytest.mark.parametrize("scope", ["global", "layerwise"])
+    def test_uniform_magnitudes_hit_target_sparsity(self, scope):
+        """Regression: ties at the threshold must not prune every tied group.
+
+        With the old strict ``score > threshold`` comparison a layer of
+        uniform magnitudes was pruned to 100% regardless of the target.
+        """
+        from repro.nn.layers import Linear
+
+        layer = Linear(8, 8, bias=False)
+        layer.weight.data = np.full((8, 8), 0.25, dtype=layer.weight.data.dtype)
+        mask = magnitude_mask(layer, sparsity=0.5, parameter_names=["weight"], scope=scope)
+        assert mask.sparsity() == pytest.approx(0.5, abs=0.02)
+
+    def test_partial_ties_at_threshold_hit_target(self):
+        """Only as many tied groups as the budget requires are pruned."""
+        from repro.nn.layers import Linear
+
+        layer = Linear(10, 1, bias=False)
+        # 4 small distinct weights, 6 tied at the would-be threshold.
+        layer.weight.data = np.array(
+            [[0.01, 0.02, 0.03, 0.04, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5]],
+            dtype=layer.weight.data.dtype,
+        )
+        mask = magnitude_mask(layer, sparsity=0.6, parameter_names=["weight"])
+        assert int(mask["weight"].sum()) == 4
+        # All four distinct small weights go first.
+        np.testing.assert_array_equal(mask["weight"][0, :4], np.zeros(4, dtype=np.uint8))
 
 
 class TestOMP:

@@ -77,24 +77,28 @@ class TestConv2d:
         with pytest.raises(ValueError):
             conv2d(Tensor(rng.normal(size=(1, 2, 4, 4))), Tensor(rng.normal(size=(3, 5, 3, 3))))
 
-    def test_input_gradient(self, rng):
+    def test_input_gradient(self, rng, grad_dtype):
         weight = rng.normal(size=(2, 3, 3, 3))
         images = rng.normal(size=(2, 3, 5, 5))
         check_gradient(
-            lambda t: (conv2d(t, Tensor(weight), stride=1, padding=1) ** 2).sum(), images
+            lambda t: (conv2d(t, Tensor(weight), stride=1, padding=1) ** 2).sum(),
+            images,
+            dtype=grad_dtype,
         )
 
-    def test_weight_and_bias_gradient(self, rng):
+    def test_weight_and_bias_gradient(self, rng, grad_dtype):
         images = rng.normal(size=(2, 2, 5, 5))
         weight = rng.normal(size=(3, 2, 3, 3))
         bias = rng.normal(size=(3,))
         check_gradient(
             lambda t: (conv2d(Tensor(images), t, Tensor(bias), stride=2, padding=1) ** 2).sum(),
             weight,
+            dtype=grad_dtype,
         )
         check_gradient(
             lambda t: (conv2d(Tensor(images), Tensor(weight), t, stride=1, padding=0) ** 2).sum(),
             bias,
+            dtype=grad_dtype,
         )
 
 
@@ -104,16 +108,16 @@ class TestPooling:
         out = max_pool2d(Tensor(images), 2)
         np.testing.assert_array_equal(out.data.reshape(2, 2), [[5, 7], [13, 15]])
 
-    def test_max_pool_gradient(self, rng):
+    def test_max_pool_gradient(self, rng, grad_dtype):
         images = rng.normal(size=(2, 3, 6, 6))
-        check_gradient(lambda t: (max_pool2d(t, 2) ** 2).sum(), images)
+        check_gradient(lambda t: (max_pool2d(t, 2) ** 2).sum(), images, dtype=grad_dtype)
 
-    def test_avg_pool_forward_and_gradient(self, rng):
+    def test_avg_pool_forward_and_gradient(self, rng, grad_dtype):
         images = rng.normal(size=(2, 2, 4, 4))
         out = avg_pool2d(Tensor(images), 2)
         expected = images.reshape(2, 2, 2, 2, 2, 2).mean(axis=(3, 5))
         np.testing.assert_allclose(out.data, expected)
-        check_gradient(lambda t: (avg_pool2d(t, 2) ** 2).sum(), images)
+        check_gradient(lambda t: (avg_pool2d(t, 2) ** 2).sum(), images, dtype=grad_dtype)
 
     def test_adaptive_avg_pool_global(self, rng):
         images = rng.normal(size=(2, 3, 5, 5))
@@ -126,12 +130,12 @@ class TestPooling:
 
 
 class TestPaddingAndUpsample:
-    def test_pad2d_forward_and_gradient(self, rng):
+    def test_pad2d_forward_and_gradient(self, rng, grad_dtype):
         images = rng.normal(size=(1, 2, 3, 3))
         out = pad2d(Tensor(images), 2)
         assert out.shape == (1, 2, 7, 7)
         np.testing.assert_allclose(out.data[:, :, 2:5, 2:5], images)
-        check_gradient(lambda t: (pad2d(t, 1) ** 2).sum(), images)
+        check_gradient(lambda t: (pad2d(t, 1) ** 2).sum(), images, dtype=grad_dtype)
 
     def test_upsample_forward(self):
         images = np.arange(4, dtype=np.float64).reshape(1, 1, 2, 2)
@@ -140,6 +144,8 @@ class TestPaddingAndUpsample:
         np.testing.assert_array_equal(out.data[0, 0, :2, :2], [[0, 0], [0, 0]])
         np.testing.assert_array_equal(out.data[0, 0, 2:, 2:], [[3, 3], [3, 3]])
 
-    def test_upsample_gradient(self, rng):
+    def test_upsample_gradient(self, rng, grad_dtype):
         images = rng.normal(size=(2, 2, 3, 3))
-        check_gradient(lambda t: (conv2d_transpose_upsample(t, 2) ** 2).sum(), images)
+        check_gradient(
+            lambda t: (conv2d_transpose_upsample(t, 2) ** 2).sum(), images, dtype=grad_dtype
+        )

@@ -1,17 +1,24 @@
-"""Unit tests for the core autograd engine (arithmetic, reductions, shapes)."""
+"""Unit tests for the core autograd engine (arithmetic, reductions, shapes).
+
+Gradient checks are parametrised over the engine's two supported compute
+dtypes (see the ``grad_dtype`` fixture): ``float64`` verifies the
+gradient formulas at high precision, ``float32`` verifies that the
+default single-precision path computes the same gradients to within its
+numerical noise floor.
+"""
 
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+from repro.tensor import Tensor, default_dtype, no_grad, is_grad_enabled, as_tensor
 
 from tests.helpers import check_gradient
 
 
 class TestBasics:
-    def test_tensor_wraps_array_as_float64(self):
+    def test_tensor_wraps_array_in_default_dtype(self):
         tensor = Tensor([[1, 2], [3, 4]], requires_grad=True)
-        assert tensor.dtype == np.float64
+        assert tensor.dtype == default_dtype()
         assert tensor.shape == (2, 2)
         assert tensor.size == 4
         assert tensor.ndim == 2
@@ -30,6 +37,16 @@ class TestBasics:
 
     def test_item_on_scalar(self):
         assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_item_on_size_one_multidim(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+        assert Tensor(np.full((1, 1, 1), 2.0)).item() == pytest.approx(2.0)
+
+    def test_item_on_non_scalar_raises_value_error(self):
+        with pytest.raises(ValueError, match="exactly one element"):
+            Tensor([1.0, 2.0]).item()
+        with pytest.raises(ValueError, match="exactly one element"):
+            Tensor(np.zeros((2, 3))).item()
 
     def test_backward_requires_scalar_without_grad(self):
         tensor = Tensor([1.0, 2.0], requires_grad=True)
@@ -68,50 +85,50 @@ class TestNoGrad:
 
 
 class TestArithmeticGradients:
-    def test_add_gradient(self, rng):
+    def test_add_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(3, 4))
         other = rng.normal(size=(3, 4))
-        check_gradient(lambda t: (t + Tensor(other)).sum(), value)
+        check_gradient(lambda t: (t + Tensor(other)).sum(), value, dtype=grad_dtype)
 
-    def test_mul_gradient(self, rng):
+    def test_mul_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(3, 4))
         other = rng.normal(size=(3, 4))
-        check_gradient(lambda t: (t * Tensor(other)).sum(), value)
+        check_gradient(lambda t: (t * Tensor(other)).sum(), value, dtype=grad_dtype)
 
-    def test_div_gradient(self, rng):
+    def test_div_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(3, 4)) + 3.0
         other = rng.normal(size=(3, 4)) + 3.0
-        check_gradient(lambda t: (t / Tensor(other)).sum(), value)
-        check_gradient(lambda t: (Tensor(other) / t).sum(), value)
+        check_gradient(lambda t: (t / Tensor(other)).sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: (Tensor(other) / t).sum(), value, dtype=grad_dtype)
 
-    def test_sub_and_neg_gradient(self, rng):
+    def test_sub_and_neg_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(2, 5))
-        check_gradient(lambda t: (-(t - 2.0) + (3.0 - t)).sum(), value)
+        check_gradient(lambda t: (-(t - 2.0) + (3.0 - t)).sum(), value, dtype=grad_dtype)
 
-    def test_pow_gradient(self, rng):
+    def test_pow_gradient(self, rng, grad_dtype):
         value = np.abs(rng.normal(size=(4,))) + 0.5
-        check_gradient(lambda t: (t**3).sum(), value)
-        check_gradient(lambda t: (t**0.5).sum(), value)
+        check_gradient(lambda t: (t**3).sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: (t**0.5).sum(), value, dtype=grad_dtype)
 
     def test_pow_rejects_tensor_exponent(self):
         with pytest.raises(TypeError):
             Tensor([1.0]) ** Tensor([2.0])
 
-    def test_broadcasting_gradients(self, rng):
+    def test_broadcasting_gradients(self, rng, grad_dtype):
         value = rng.normal(size=(3, 1, 4))
         other = rng.normal(size=(1, 5, 4))
-        check_gradient(lambda t: (t * Tensor(other)).sum(), value)
-        check_gradient(lambda t: (t + Tensor(other)).sum(), value)
+        check_gradient(lambda t: (t * Tensor(other)).sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: (t + Tensor(other)).sum(), value, dtype=grad_dtype)
 
-    def test_scalar_broadcast_gradient(self, rng):
+    def test_scalar_broadcast_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(2, 3))
-        check_gradient(lambda t: (t * 3.0 + 1.0).sum(), value)
+        check_gradient(lambda t: (t * 3.0 + 1.0).sum(), value, dtype=grad_dtype)
 
-    def test_matmul_gradient(self, rng):
+    def test_matmul_gradient(self, rng, grad_dtype):
         left = rng.normal(size=(3, 4))
         right = rng.normal(size=(4, 2))
-        check_gradient(lambda t: t.matmul(Tensor(right)).sum(), left)
-        check_gradient(lambda t: Tensor(left).matmul(t).sum(), right)
+        check_gradient(lambda t: t.matmul(Tensor(right)).sum(), left, dtype=grad_dtype)
+        check_gradient(lambda t: Tensor(left).matmul(t).sum(), right, dtype=grad_dtype)
 
     def test_matmul_operator(self, rng):
         left = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
@@ -129,24 +146,24 @@ class TestArithmeticGradients:
 
 
 class TestTranscendental:
-    def test_exp_log_sqrt_abs_gradients(self, rng):
+    def test_exp_log_sqrt_abs_gradients(self, rng, grad_dtype):
         value = np.abs(rng.normal(size=(3, 3))) + 0.5
-        check_gradient(lambda t: t.exp().sum(), value)
-        check_gradient(lambda t: t.log().sum(), value)
-        check_gradient(lambda t: t.sqrt().sum(), value)
-        check_gradient(lambda t: t.abs().sum(), rng.normal(size=(3, 3)) + 0.1)
+        check_gradient(lambda t: t.exp().sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: t.log().sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: t.sqrt().sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: t.abs().sum(), rng.normal(size=(3, 3)) + 0.1, dtype=grad_dtype)
 
     def test_exp_forward(self):
         np.testing.assert_allclose(Tensor([0.0, 1.0]).exp().data, [1.0, np.e])
 
 
 class TestReductions:
-    def test_sum_axis_gradients(self, rng):
+    def test_sum_axis_gradients(self, rng, grad_dtype):
         value = rng.normal(size=(2, 3, 4))
-        check_gradient(lambda t: t.sum(), value)
-        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), value)
-        check_gradient(lambda t: (t.sum(axis=(0, 2)) ** 2).sum(), value)
-        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), value)
+        check_gradient(lambda t: t.sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: (t.sum(axis=(0, 2)) ** 2).sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), value, dtype=grad_dtype)
 
     def test_mean_matches_numpy(self, rng):
         value = rng.normal(size=(4, 5))
@@ -154,18 +171,18 @@ class TestReductions:
         np.testing.assert_allclose(tensor.mean(axis=0).data, value.mean(axis=0))
         np.testing.assert_allclose(tensor.mean().data, value.mean())
 
-    def test_mean_gradient(self, rng):
+    def test_mean_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(3, 4))
-        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), value)
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), value, dtype=grad_dtype)
 
     def test_var_matches_numpy_biased(self, rng):
         value = rng.normal(size=(4, 6))
         np.testing.assert_allclose(Tensor(value).var(axis=0).data, value.var(axis=0), atol=1e-12)
 
-    def test_max_gradient(self, rng):
+    def test_max_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(3, 5))
-        check_gradient(lambda t: (t.max(axis=1) ** 2).sum(), value)
-        check_gradient(lambda t: t.max() * 2.0, value)
+        check_gradient(lambda t: (t.max(axis=1) ** 2).sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: t.max() * 2.0, value, dtype=grad_dtype)
 
     def test_max_forward(self, rng):
         value = rng.normal(size=(2, 7))
@@ -173,38 +190,40 @@ class TestReductions:
 
 
 class TestShapeOps:
-    def test_reshape_gradient(self, rng):
+    def test_reshape_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(2, 6))
-        check_gradient(lambda t: (t.reshape(3, 4) ** 2).sum(), value)
+        check_gradient(lambda t: (t.reshape(3, 4) ** 2).sum(), value, dtype=grad_dtype)
 
     def test_flatten(self, rng):
         tensor = Tensor(rng.normal(size=(2, 3, 4)))
         assert tensor.flatten(start_dim=1).shape == (2, 12)
         assert tensor.flatten().shape == (24,)
 
-    def test_transpose_gradient(self, rng):
+    def test_transpose_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(2, 3, 4))
-        check_gradient(lambda t: (t.transpose(2, 0, 1) ** 2).sum(), value)
-        check_gradient(lambda t: (t.T ** 2).sum(), rng.normal(size=(3, 4)))
+        check_gradient(lambda t: (t.transpose(2, 0, 1) ** 2).sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: (t.T ** 2).sum(), rng.normal(size=(3, 4)), dtype=grad_dtype)
 
-    def test_getitem_gradient(self, rng):
+    def test_getitem_gradient(self, rng, grad_dtype):
         value = rng.normal(size=(4, 5))
-        check_gradient(lambda t: (t[1:3, ::2] ** 2).sum(), value)
-        check_gradient(lambda t: (t[0] ** 2).sum(), value)
+        check_gradient(lambda t: (t[1:3, ::2] ** 2).sum(), value, dtype=grad_dtype)
+        check_gradient(lambda t: (t[0] ** 2).sum(), value, dtype=grad_dtype)
 
-    def test_concatenate_gradient(self, rng):
+    def test_concatenate_gradient(self, rng, grad_dtype):
         a = rng.normal(size=(2, 3))
         b = rng.normal(size=(4, 3))
         check_gradient(
-            lambda t: (Tensor.concatenate([t, Tensor(b)], axis=0) ** 2).sum(), a
+            lambda t: (Tensor.concatenate([t, Tensor(b)], axis=0) ** 2).sum(), a, dtype=grad_dtype
         )
 
-    def test_stack_forward_and_gradient(self, rng):
+    def test_stack_forward_and_gradient(self, rng, grad_dtype):
         a = rng.normal(size=(2, 3))
         b = rng.normal(size=(2, 3))
         stacked = Tensor.stack([Tensor(a), Tensor(b)], axis=0)
         assert stacked.shape == (2, 2, 3)
-        check_gradient(lambda t: (Tensor.stack([t, Tensor(b)], axis=1) ** 2).sum(), a)
+        check_gradient(
+            lambda t: (Tensor.stack([t, Tensor(b)], axis=1) ** 2).sum(), a, dtype=grad_dtype
+        )
 
 
 class TestComparisons:

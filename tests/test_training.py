@@ -128,6 +128,14 @@ class TestEvaluationHelpers:
         logits = predict_logits(model, toy_dataset.images, batch_size=16)
         assert logits.shape == (len(toy_dataset), 2)
 
+    def test_predict_logits_empty_dataset_keeps_class_dim(self, toy_dataset):
+        """Regression: an empty input used to yield shape (0,), crashing argmax."""
+        model = build_small_classifier(num_classes=2)
+        empty = toy_dataset.images[:0]
+        logits = predict_logits(model, empty, batch_size=16)
+        assert logits.shape == (0, 2)
+        assert logits.argmax(axis=1).shape == (0,)
+
     def test_evaluate_accuracy_range(self, toy_dataset):
         model = build_small_classifier(num_classes=2)
         acc = evaluate_accuracy(model, toy_dataset)
