@@ -25,6 +25,7 @@ import os
 import pytest
 
 from repro.core.cache import CACHE_ENV_VAR, default_cache_root
+from repro.core.parallel import default_workers
 from repro.experiments import ExperimentScale, ResultTable, shared_context
 from repro.experiments.config import SMOKE
 from repro.tensor import dtypes
@@ -57,6 +58,17 @@ def scale() -> ExperimentScale:
 def context(scale):
     """Process-wide experiment context (cached pretrained models and tasks)."""
     return shared_context(scale)
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    """Worker processes for sweep-capable figure benchmarks.
+
+    Defaults to serial; export ``REPRO_SWEEP_WORKERS=N`` to fan the
+    independent grid points of the supporting figures out across
+    processes (results are identical either way).
+    """
+    return default_workers()
 
 
 @pytest.fixture

@@ -16,6 +16,7 @@ scheme of step 1, which is exactly the comparison the paper makes.
 """
 
 from repro.core.cache import SweepCache, default_cache_root
+from repro.core.parallel import SweepRunner, run_sweep, default_workers
 from repro.core.tickets import Ticket
 from repro.core.transfer import (
     TransferResult,
@@ -29,6 +30,9 @@ from repro.core.evaluate import PropertyReport, evaluate_properties
 __all__ = [
     "SweepCache",
     "default_cache_root",
+    "SweepRunner",
+    "run_sweep",
+    "default_workers",
     "Ticket",
     "TransferResult",
     "finetune_classification",

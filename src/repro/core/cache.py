@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import uuid
 from typing import Dict, Optional
 
 import numpy as np
@@ -67,9 +68,20 @@ class SweepCache:
     def _path(self, kind: str, key: str) -> str:
         return os.path.join(self.root, f"{kind}-{key}.npz")
 
+    def _staging_path(self, path: str) -> str:
+        """A per-writer unique temp path next to ``path``.
+
+        Multi-process sweeps can store the same key concurrently (e.g.
+        two workers missing on an identical ticket); a fixed ``.tmp``
+        name would let one writer's ``os.replace`` consume or tear the
+        other's half-written file, so every writer stages under its own
+        pid+uuid name and the last atomic rename wins.
+        """
+        return f"{path[: -len('.npz')]}.{os.getpid()}-{uuid.uuid4().hex}.tmp"
+
     def _store(self, kind: str, key: str, payload: Dict[str, np.ndarray]) -> str:
         path = self._path(kind, key)
-        temporary = save_state_dict(payload, path[: -len(".npz")] + ".tmp")
+        temporary = save_state_dict(payload, self._staging_path(path))
         os.replace(temporary, path)
         return path
 
@@ -136,7 +148,7 @@ class SweepCache:
     def store_ticket(self, key: str, ticket: Ticket) -> str:
         """Persist a drawn :class:`Ticket` under ``key``."""
         path = self._path("ticket", key)
-        temporary = ticket.save(path[: -len(".npz")] + ".tmp")
+        temporary = ticket.save(self._staging_path(path))
         os.replace(temporary, path)
         return path
 

@@ -21,6 +21,7 @@ from repro.metrics.classification import (
     negative_log_likelihood,
 )
 from repro.metrics.ood import ood_roc_auc
+from repro.nn.fuse import maybe_fuse
 from repro.nn.module import Module
 from repro.training.evaluation import (
     evaluate_adversarial_accuracy,
@@ -65,9 +66,13 @@ def evaluate_properties(
         num_samples=min(200, len(task.test)), image_size=task.image_size, seed=seed + 917
     )
 
-    logits = predict_logits(model, task.test.images)
+    model.eval()
+    # Fold Conv+BN once; every gradient-free pass of the bundle (clean,
+    # OoD, post-attack, per-corruption) shares the same fused copy.
+    inference_model = maybe_fuse(model)
+    logits = predict_logits(inference_model, task.test.images, fused=False)
     labels = task.test.labels
-    ood_logits = predict_logits(model, ood.images)
+    ood_logits = predict_logits(inference_model, ood.images, fused=False)
 
     return PropertyReport(
         accuracy=accuracy(logits, labels),
@@ -77,7 +82,11 @@ def evaluate_properties(
             model, task.test, attack=attack, seed=seed
         ),
         corruption_accuracy=evaluate_corruption_accuracy(
-            model, task.test, severity=corruption_severity, seed=seed
+            model,
+            task.test,
+            severity=corruption_severity,
+            seed=seed,
+            inference_model=inference_model,
         ),
         ood_roc_auc=ood_roc_auc(logits, ood_logits),
     )

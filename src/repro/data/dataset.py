@@ -74,10 +74,26 @@ class DataLoader:
         return full
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-        order = np.arange(len(self.dataset))
-        if self.shuffle:
-            self._rng.shuffle(order)
-        for start in range(0, len(order), self.batch_size):
+        total = len(self.dataset)
+        if not self.shuffle:
+            # Sequential iteration needs no index permutation at all:
+            # plain slices yield zero-copy views of the dataset arrays.
+            # The views are handed out read-only so a consumer mutating
+            # its batch in place cannot silently corrupt the dataset
+            # (the shuffled path's fancy indexing always copies).
+            for start in range(0, total, self.batch_size):
+                stop = min(start + self.batch_size, total)
+                if self.drop_last and stop - start < self.batch_size:
+                    break
+                images = self.dataset.images[start:stop]
+                labels = self.dataset.labels[start:stop]
+                images.flags.writeable = False
+                labels.flags.writeable = False
+                yield images, labels
+            return
+        order = np.arange(total)
+        self._rng.shuffle(order)
+        for start in range(0, total, self.batch_size):
             batch = order[start : start + self.batch_size]
             if self.drop_last and len(batch) < self.batch_size:
                 break

@@ -14,8 +14,17 @@ grids, hours).
 
 from repro.experiments.config import ExperimentScale, SMOKE, PAPER, get_scale
 from repro.experiments.results import ResultTable
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.registry import EXPERIMENTS, run_experiment, available_experiments
+from repro.experiments.context import (
+    ExperimentContext,
+    shared_context,
+    shared_context_scope,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+    supports_workers,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -25,7 +34,9 @@ __all__ = [
     "ResultTable",
     "ExperimentContext",
     "shared_context",
+    "shared_context_scope",
     "EXPERIMENTS",
     "run_experiment",
     "available_experiments",
+    "supports_workers",
 ]

@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.core.parallel import default_workers
 from repro.experiments.registry import available_experiments, run_experiment
 
 
@@ -38,6 +39,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--csv", metavar="PATH", help="also write the result rows to a CSV file")
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for experiments whose sweep grids support "
+            "multi-process execution (default: the REPRO_SWEEP_WORKERS "
+            "environment variable, else 1 = serial)"
+        ),
+    )
     return parser
 
 
@@ -57,7 +69,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"unknown experiment {args.experiment!r}; use --list to see the available identifiers"
         )
 
-    table = run_experiment(args.experiment, scale=args.scale)
+    workers = args.workers if args.workers is not None else default_workers()
+    table = run_experiment(args.experiment, scale=args.scale, workers=workers)
     print(table.to_text())
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:

@@ -10,6 +10,7 @@ model exactly once.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from typing import Dict, Optional, Tuple
 
@@ -70,6 +71,19 @@ class ExperimentContext:
             )
         return self._tasks[key]
 
+    def prewarm(self, models, priors=("robust", "natural")) -> None:
+        """Pretrain (or cache-load) the dense models a sweep will need.
+
+        Parallel experiment runners call this before forking workers so
+        that every expensive backbone exists exactly once — in this
+        process's memory (inherited by forked workers) and, when the
+        sweep cache is enabled, on disk for spawn-based platforms.
+        """
+        for model_name in models:
+            pipeline = self.pipeline(model_name)
+            for prior in priors:
+                pipeline.pretrain(prior)
+
     def segmentation(self) -> SegmentationTask:
         if self._segmentation is None:
             self._segmentation = segmentation_task(
@@ -98,3 +112,28 @@ def shared_context(scale="smoke") -> ExperimentContext:
     if scale.name not in _SHARED:
         _SHARED[scale.name] = ExperimentContext(scale)
     return _SHARED[scale.name]
+
+
+@contextlib.contextmanager
+def shared_context_scope(context: ExperimentContext):
+    """Temporarily make ``context`` the shared context for its scale.
+
+    Parallel experiment runners install the context they were handed
+    before forking workers, so that a worker's ``shared_context(scale)``
+    resolves to the parent's prewarmed context (forked children inherit
+    this module's ``_SHARED`` registry).  The previous registration is
+    restored (or removed) on exit, so a sweep run against an explicitly
+    supplied context does not leak it into unrelated later
+    ``shared_context(scale)`` callers in the same process.
+    """
+    name = context.scale.name
+    previous = _SHARED.get(name)
+    _SHARED[name] = context
+    try:
+        yield context
+    finally:
+        if previous is None:
+            if _SHARED.get(name) is context:
+                del _SHARED[name]
+        else:
+            _SHARED[name] = previous

@@ -4,16 +4,47 @@ Robust vs natural tickets drawn by one-shot magnitude pruning from
 ResNet18/50, transferred to the CIFAR-10/100 stand-ins with whole-model
 finetuning, swept over sparsity (including the extreme-sparsity zoom-in
 of the paper via ``high_sparsity_grid``).
+
+The ``(model, task, sparsity)`` grid points are independent given the
+pretrained dense models, so ``workers > 1`` fans them out across worker
+processes (see :func:`repro.experiments.grid.sweep_grid`); the result
+rows are identical to — and ordered like — the serial sweep.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import get_scale
+from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.context import ExperimentContext, shared_context
+from repro.experiments.grid import sweep_grid
 from repro.experiments.results import ResultTable
 from repro.training.trainer import TrainerConfig
+
+
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    sparsity: float,
+) -> Dict[str, object]:
+    """One grid point: draw both tickets, finetune both, return the row."""
+    pipeline = context.pipeline(model_name)
+    task = context.task(task_name)
+    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
+    robust = pipeline.draw_omp_ticket("robust", sparsity)
+    natural = pipeline.draw_omp_ticket("natural", sparsity)
+    robust_result = pipeline.transfer(robust, task, mode="finetune", config=finetune_config)
+    natural_result = pipeline.transfer(natural, task, mode="finetune", config=finetune_config)
+    return dict(
+        model=model_name,
+        task=task_name,
+        sparsity=round(sparsity, 4),
+        robust_accuracy=robust_result.score,
+        natural_accuracy=natural_result.score,
+        gap=robust_result.score - natural_result.score,
+    )
 
 
 def run(
@@ -23,6 +54,7 @@ def run(
     tasks: Optional[Sequence[str]] = None,
     sparsities: Optional[Sequence[float]] = None,
     include_extreme: bool = True,
+    workers: int = 1,
 ) -> ResultTable:
     """Reproduce Fig. 1: finetuning accuracy of robust vs natural OMP tickets."""
     scale = get_scale(scale)
@@ -32,24 +64,13 @@ def run(
     if sparsities is None:
         sparsities = scale.sparsity_grid + (scale.high_sparsity_grid if include_extreme else ())
 
+    points = [
+        (model_name, task_name, float(sparsity))
+        for model_name in models
+        for task_name in tasks
+        for sparsity in sparsities
+    ]
     table = ResultTable("Fig. 1: OMP tickets, whole-model finetuning")
-    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
-
-    for model_name in models:
-        pipeline = context.pipeline(model_name)
-        for task_name in tasks:
-            task = context.task(task_name)
-            for sparsity in sparsities:
-                robust = pipeline.draw_omp_ticket("robust", sparsity)
-                natural = pipeline.draw_omp_ticket("natural", sparsity)
-                robust_result = pipeline.transfer(robust, task, mode="finetune", config=finetune_config)
-                natural_result = pipeline.transfer(natural, task, mode="finetune", config=finetune_config)
-                table.add_row(
-                    model=model_name,
-                    task=task_name,
-                    sparsity=round(sparsity, 4),
-                    robust_accuracy=robust_result.score,
-                    natural_accuracy=natural_result.score,
-                    gap=robust_result.score - natural_result.score,
-                )
+    for row in sweep_grid(_evaluate_point, points, context, scale, models, workers=workers):
+        table.add_row(**row)
     return table

@@ -3,15 +3,44 @@
 Same tickets as Fig. 1 but the backbone is frozen and only a linear
 classifier on its pooled features is trained; the paper reports that the
 robust-ticket advantage is largest in this regime.
+
+Like Fig. 1, the grid points are independent given the pretrained dense
+models and fan out across worker processes when ``workers > 1`` (see
+:func:`repro.experiments.grid.sweep_grid`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import get_scale
+from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.context import ExperimentContext, shared_context
+from repro.experiments.grid import sweep_grid
 from repro.experiments.results import ResultTable
+
+
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    sparsity: float,
+) -> Dict[str, object]:
+    """One grid point: draw both tickets, linear-evaluate both, return the row."""
+    pipeline = context.pipeline(model_name)
+    task = context.task(task_name)
+    robust = pipeline.draw_omp_ticket("robust", sparsity)
+    natural = pipeline.draw_omp_ticket("natural", sparsity)
+    robust_result = pipeline.transfer(robust, task, mode="linear")
+    natural_result = pipeline.transfer(natural, task, mode="linear")
+    return dict(
+        model=model_name,
+        task=task_name,
+        sparsity=round(sparsity, 4),
+        robust_accuracy=robust_result.score,
+        natural_accuracy=natural_result.score,
+        gap=robust_result.score - natural_result.score,
+    )
 
 
 def run(
@@ -20,6 +49,7 @@ def run(
     models: Optional[Sequence[str]] = None,
     tasks: Optional[Sequence[str]] = None,
     sparsities: Optional[Sequence[float]] = None,
+    workers: int = 1,
 ) -> ResultTable:
     """Reproduce Fig. 2: linear-evaluation accuracy of robust vs natural OMP tickets."""
     scale = get_scale(scale)
@@ -28,22 +58,13 @@ def run(
     tasks = tuple(tasks) if tasks is not None else scale.tasks
     sparsities = tuple(sparsities) if sparsities is not None else scale.sparsity_grid
 
+    points = [
+        (model_name, task_name, float(sparsity))
+        for model_name in models
+        for task_name in tasks
+        for sparsity in sparsities
+    ]
     table = ResultTable("Fig. 2: OMP tickets, linear evaluation")
-    for model_name in models:
-        pipeline = context.pipeline(model_name)
-        for task_name in tasks:
-            task = context.task(task_name)
-            for sparsity in sparsities:
-                robust = pipeline.draw_omp_ticket("robust", sparsity)
-                natural = pipeline.draw_omp_ticket("natural", sparsity)
-                robust_result = pipeline.transfer(robust, task, mode="linear")
-                natural_result = pipeline.transfer(natural, task, mode="linear")
-                table.add_row(
-                    model=model_name,
-                    task=task_name,
-                    sparsity=round(sparsity, 4),
-                    robust_accuracy=robust_result.score,
-                    natural_accuracy=natural_result.score,
-                    gap=robust_result.score - natural_result.score,
-                )
+    for row in sweep_grid(_evaluate_point, points, context, scale, models, workers=workers):
+        table.add_row(**row)
     return table

@@ -1,0 +1,82 @@
+"""Shared multi-process dispatch for experiment sweep grids.
+
+The sweep-capable figure runners all follow the same shape: build the
+list of independent ``(model, task, sparsity)`` points, evaluate each
+point to a result row, and — when ``workers > 1`` — fan the points out
+across worker processes after prewarming the pretrained dense models.
+:func:`sweep_grid` centralises that dispatch so every runner only
+supplies its per-point evaluation function.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.core.cache import CACHE_ENV_VAR
+from repro.core.parallel import SweepRunner, effective_workers
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import (
+    ExperimentContext,
+    shared_context,
+    shared_context_scope,
+)
+
+#: A point evaluator: ``(context, scale, *point) -> row dict``.  Must be
+#: a module-level function so the parallel path can pickle it by
+#: reference.
+PointEvaluator = Callable[..., Dict[str, Any]]
+
+
+class _GridPoint:
+    """Picklable wrapper evaluating one point inside a worker process.
+
+    Workers resolve the experiment context through
+    ``shared_context(scale)``: forked workers find the parent's
+    prewarmed context (installed for the sweep's duration by
+    :func:`repro.experiments.context.shared_context_scope`),
+    spawn-based workers rebuild it on demand backed by the disk sweep
+    cache.
+    """
+
+    def __init__(self, evaluate: PointEvaluator, scale: ExperimentScale) -> None:
+        self.evaluate = evaluate
+        self.scale = scale
+
+    def __call__(self, point: Tuple) -> Dict[str, Any]:
+        return self.evaluate(shared_context(self.scale), self.scale, *point)
+
+
+def sweep_grid(
+    evaluate: PointEvaluator,
+    points: Sequence[Tuple],
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    models: Sequence[str],
+    workers: int = 1,
+    priors: Sequence[str] = ("robust", "natural"),
+) -> List[Dict[str, Any]]:
+    """Evaluate every grid point, serially or across worker processes.
+
+    Results follow the order of ``points`` and are identical either
+    way; the parallel path registers ``context`` as the process-wide
+    shared context *for the duration of the sweep* and pretrains the
+    dense models for ``priors`` serially before forking, so no two
+    workers race to produce the same backbone.
+    """
+    points = list(points)
+    # Spawn-based workers rebuild the experiment context from scratch,
+    # so fan-out needs the disk sweep cache there (worker contexts read
+    # it from the environment variable).
+    workers = effective_workers(
+        workers, has_disk_cache=bool(os.environ.get(CACHE_ENV_VAR))
+    )
+    if workers > 1:
+        with shared_context_scope(context):
+            context.prewarm(models, priors=priors)
+            # Build each distinct downstream task once pre-fork too, so
+            # workers inherit the datasets instead of regenerating them.
+            for task_name in dict.fromkeys(point[1] for point in points):
+                context.task(task_name)
+            return SweepRunner(workers).map(_GridPoint(evaluate, scale), points)
+    return [evaluate(context, scale, *point) for point in points]

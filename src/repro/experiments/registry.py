@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     fig1_omp_finetune,
@@ -45,8 +46,25 @@ def available_experiments() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(identifier: str, scale="smoke", **kwargs) -> ResultTable:
-    """Run a registered experiment by identifier."""
+def supports_workers(identifier: str) -> bool:
+    """Whether the experiment's runner accepts a ``workers`` argument."""
     if identifier not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {identifier!r}; available: {available_experiments()}")
+    return "workers" in inspect.signature(EXPERIMENTS[identifier]).parameters
+
+
+def run_experiment(
+    identifier: str, scale="smoke", workers: Optional[int] = None, **kwargs
+) -> ResultTable:
+    """Run a registered experiment by identifier.
+
+    ``workers`` is forwarded to runners whose grids support
+    multi-process sweeping (see :func:`supports_workers`); for the
+    remaining runners it is ignored and the experiment runs serially,
+    which is always correct.
+    """
+    if identifier not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {identifier!r}; available: {available_experiments()}")
+    if workers is not None and "workers" in inspect.signature(EXPERIMENTS[identifier]).parameters:
+        kwargs.setdefault("workers", workers)
     return EXPERIMENTS[identifier](scale=scale, **kwargs)

@@ -22,6 +22,7 @@ from repro.nn.layers import (
     Upsample,
 )
 from repro.nn import init
+from repro.nn import fuse
 
 __all__ = [
     "Module",
@@ -39,4 +40,5 @@ __all__ = [
     "Sequential",
     "Upsample",
     "init",
+    "fuse",
 ]

@@ -1,0 +1,153 @@
+"""Eval-time ``Conv2d + BatchNorm2d`` folding.
+
+At evaluation time batch normalisation is an affine transform with
+constant per-channel coefficients (the running statistics), so it can
+be folded into the preceding convolution's weights and bias:
+
+.. math::
+
+    w' = w \\cdot \\gamma / \\sqrt{\\sigma^2 + \\epsilon}
+    \\qquad
+    b' = \\beta + (b - \\mu) \\cdot \\gamma / \\sqrt{\\sigma^2 + \\epsilon}
+
+This removes one full pass over every intermediate activation per
+conv/BN pair — in a ResNet that is one fold per convolution, which is
+where the bulk of the inference-path speedup of this module comes from.
+A trailing ReLU needs no folding work: it is already a single
+vectorised op and commutes with nothing here, so fused ``conv+bn+relu``
+chains simply keep their ReLU.
+
+The pass never mutates the model it is given: :func:`fuse` deep-copies
+the module tree, folds every :class:`~repro.nn.layers.Conv2d` that is
+*immediately followed* by a :class:`~repro.nn.layers.BatchNorm2d` in
+its parent's registration order (the convention everywhere in this
+code base: ``conv1``/``bn1``, ``conv2``/``bn2``, and the
+``Sequential(Conv2d, BatchNorm2d)`` downsample paths), and replaces the
+absorbed BatchNorm with an :class:`~repro.nn.layers.Identity` so the
+parent's ``forward`` keeps working unchanged.
+
+The fused copy is an **inference-only** artefact: it bakes in the
+running statistics, so training it (or even running it in training
+mode) would diverge from the source model.  :func:`fuse` therefore
+returns the copy in eval mode with gradients disabled.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Identity
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+__all__ = ["fold_conv_bn", "fuse", "fusible_pairs", "maybe_fuse"]
+
+
+def _parameter_like(array: np.ndarray) -> Parameter:
+    """A :class:`Parameter` wrapping ``array`` exactly as computed.
+
+    ``Parameter(...)`` would cast to the *current* engine default dtype
+    and the layer constructors would first draw (and discard) a random
+    initialisation; folding already has the final values, so this
+    builds the parameter around them directly, preserving the source
+    model's dtype.
+    """
+    parameter = Parameter.__new__(Parameter)
+    Tensor.__init__(parameter, array, requires_grad=True, dtype=array.dtype)
+    return parameter
+
+
+def fold_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> Conv2d:
+    """Return a fresh :class:`Conv2d` computing ``bn(conv(x))`` in eval mode.
+
+    The BatchNorm's running statistics and affine parameters are folded
+    into the convolution's weight and bias; the returned layer always
+    carries a bias (the fold produces one even when ``conv`` has none).
+    """
+    if bn.num_features != conv.out_channels:
+        raise ValueError(
+            f"cannot fold BatchNorm2d({bn.num_features}) into Conv2d producing "
+            f"{conv.out_channels} channels"
+        )
+    scale = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+    base_bias = conv.bias.data if conv.bias is not None else 0.0
+    fused = Conv2d.__new__(Conv2d)
+    Module.__init__(fused)
+    fused.in_channels = conv.in_channels
+    fused.out_channels = conv.out_channels
+    fused.kernel_size = conv.kernel_size
+    fused.stride = conv.stride
+    fused.padding = conv.padding
+    fused.weight = _parameter_like(conv.weight.data * scale.reshape(-1, 1, 1, 1))
+    fused.bias = _parameter_like(bn.bias.data + (base_bias - bn.running_mean) * scale)
+    return fused
+
+
+def _conv_bn_pairs(module: Module):
+    """Yield ``(parent, conv_name, bn_name)`` for every foldable pair.
+
+    A pair is a :class:`Conv2d` *immediately followed* by a
+    :class:`BatchNorm2d` in its parent's registration order whose
+    channel counts agree; each BatchNorm is consumed by at most one
+    conv.  This single generator is the matching rule — both
+    :func:`fuse` and :func:`fusible_pairs` derive from it, so they can
+    never disagree.
+
+    Registration order is a heuristic for dataflow order.  It holds
+    for every module in this code base (``conv1``/``bn1`` style and
+    ``Sequential`` chains); a model registering an adjacent conv/BN
+    pair that its ``forward`` does *not* apply back-to-back must not
+    be fused — pass ``fused=False`` to the evaluation helpers.
+    """
+    names = list(module._modules)
+    previous_conv_name = None
+    for name in names:
+        child = module._modules[name]
+        if previous_conv_name is not None and isinstance(child, BatchNorm2d):
+            if child.num_features == module._modules[previous_conv_name].out_channels:
+                yield module, previous_conv_name, name
+            previous_conv_name = None
+            continue
+        previous_conv_name = name if isinstance(child, Conv2d) else None
+    for name in names:
+        yield from _conv_bn_pairs(module._modules[name])
+
+
+def fusible_pairs(model: Module) -> int:
+    """Number of (Conv2d, BatchNorm2d) pairs :func:`fuse` would fold."""
+    return sum(1 for _ in _conv_bn_pairs(model))
+
+
+def fuse(model: Module) -> Module:
+    """Return an inference-only copy of ``model`` with Conv+BN pairs folded.
+
+    The source model is left untouched (still trainable, still carrying
+    its BatchNorm layers); the returned copy is in eval mode with
+    ``requires_grad`` disabled and produces the same outputs as the
+    source in eval mode, up to floating-point rounding.
+    """
+    fused = copy.deepcopy(model)
+    for parent, conv_name, bn_name in list(_conv_bn_pairs(fused)):
+        setattr(
+            parent,
+            conv_name,
+            fold_conv_bn(parent._modules[conv_name], parent._modules[bn_name]),
+        )
+        setattr(parent, bn_name, Identity())
+    fused.eval()
+    fused.requires_grad_(False)
+    return fused
+
+
+def maybe_fuse(model: Module) -> Module:
+    """Fused copy of ``model`` when it has foldable pairs, else ``model`` itself.
+
+    This is the entry point the evaluation helpers use: models without
+    BatchNorm (or already-fused copies, whose BatchNorms are gone) pass
+    through without paying the deep copy.
+    """
+    if fusible_pairs(model) == 0:
+        return model
+    return fuse(model)

@@ -108,23 +108,23 @@ class BatchNorm2d(Module):
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
         if self.training:
-            batch_mean = x.data.mean(axis=(0, 2, 3))
-            batch_var = x.data.var(axis=(0, 2, 3))
+            # One numpy pass computes the batch statistics; they feed
+            # both the running-stat update and the normalisation itself
+            # (the fused op differentiates through them analytically).
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
             self.running_mean[...] = (
-                (1.0 - self.momentum) * self.running_mean + self.momentum * batch_mean
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
             )
             self.running_var[...] = (
-                (1.0 - self.momentum) * self.running_var + self.momentum * batch_var
+                (1.0 - self.momentum) * self.running_var + self.momentum * var
             )
-            mean = x.mean(axis=(0, 2, 3), keepdims=True)
-            var = x.var(axis=(0, 2, 3), keepdims=True)
         else:
-            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
-            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
-        normalised = (x - mean) / ((var + self.eps) ** 0.5)
-        scale = self.weight.reshape(1, -1, 1, 1)
-        shift = self.bias.reshape(1, -1, 1, 1)
-        return normalised * scale + shift
+            mean = self.running_mean
+            var = self.running_var
+        return T.batch_norm2d(
+            x, self.weight, self.bias, mean, var, eps=self.eps, training=self.training
+        )
 
 
 class ReLU(Module):

@@ -62,10 +62,18 @@ class Module:
         object.__setattr__(self, name, self._buffers[name])
 
     def _set_buffer(self, name: str, value: np.ndarray) -> None:
-        """Update a registered buffer in place-style (rebinding the attribute)."""
+        """Update a registered buffer in place-style (rebinding the attribute).
+
+        The value is always copied: buffers are updated in place during
+        training (e.g. BatchNorm running statistics), so aliasing the
+        caller's array — typically an entry of a shared ``state_dict``
+        such as a ticket's pretrained ``backbone_state`` — would let one
+        model's training silently corrupt state shared across sweep
+        points.
+        """
         if name not in self._buffers:
             raise KeyError(f"buffer {name!r} is not registered")
-        self._buffers[name] = np.asarray(value, dtype=self._buffers[name].dtype)
+        self._buffers[name] = np.array(value, dtype=self._buffers[name].dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------

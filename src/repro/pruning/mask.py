@@ -151,7 +151,13 @@ class PruningMask:
     # Application
     # ------------------------------------------------------------------
     def apply(self, model: Module, strict: bool = True) -> None:
-        """Zero out masked weights of ``model`` in place."""
+        """Zero out masked weights of ``model`` in place.
+
+        The multiply writes into the existing parameter buffer
+        (``np.multiply(..., out=...)``): re-applying a mask every
+        optimizer step — which the trainer does to stop pruned weights
+        regrowing — allocates nothing.
+        """
         parameters = dict(model.named_parameters())
         for name, mask in self._masks.items():
             if name not in parameters:
@@ -163,7 +169,10 @@ class PruningMask:
                 raise ValueError(
                     f"mask shape {mask.shape} does not match parameter {name!r} shape {parameter.shape}"
                 )
-            parameter.data = parameter.data * mask
+            if parameter.data.flags.writeable:
+                np.multiply(parameter.data, mask, out=parameter.data)
+            else:
+                parameter.data = parameter.data * mask
 
     def apply_to_gradients(self, model: Module) -> None:
         """Zero out gradients of masked weights (keeps pruned weights at zero)."""
@@ -171,7 +180,10 @@ class PruningMask:
         for name, mask in self._masks.items():
             parameter = parameters.get(name)
             if parameter is not None and parameter.grad is not None:
-                parameter.grad = parameter.grad * mask
+                if parameter.grad.flags.writeable:
+                    np.multiply(parameter.grad, mask, out=parameter.grad)
+                else:
+                    parameter.grad = parameter.grad * mask
 
     # ------------------------------------------------------------------
     # Serialisation

@@ -28,6 +28,7 @@ Functional operations
 from repro.tensor.dtypes import default_dtype, default_dtype_scope, set_default_dtype
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
 from repro.tensor.functional import (
+    batch_norm2d,
     relu,
     leaky_relu,
     sigmoid,
@@ -61,6 +62,7 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "as_tensor",
+    "batch_norm2d",
     "relu",
     "leaky_relu",
     "sigmoid",

@@ -122,6 +122,59 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return Tensor._make(out_data, (x,), backward_fn, "log_softmax")
 
 
+def batch_norm2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float = 1e-5,
+    training: bool = False,
+) -> Tensor:
+    """Channel-wise batch normalisation of NCHW activations, as one fused op.
+
+    ``mean`` and ``var`` are plain per-channel numpy arrays computed
+    exactly once by the caller: the batch statistics of ``x`` in
+    training mode, the running statistics in evaluation mode.  Keeping
+    the statistics out of the autograd graph avoids the second full
+    mean/var pass the naive tensor-graph formulation pays, and the
+    hand-written backward produces the same gradients in three passes
+    over the activation instead of the ~10 temporaries the composed
+    ``(x - mean) / sqrt(var + eps)`` graph allocates.
+
+    ``training`` selects the backward formula: in training mode the
+    statistics are functions of ``x`` and the full batch-norm Jacobian
+    applies; in evaluation mode they are constants and the input
+    gradient is a pure rescale.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    bias = as_tensor(bias)
+    mean = np.asarray(mean, dtype=x.data.dtype)
+    var = np.asarray(var, dtype=x.data.dtype)
+    channel_shape = (1, -1, 1, 1)
+    inv_std = (1.0 / np.sqrt(var + eps)).reshape(channel_shape)
+    normalised = (x.data - mean.reshape(channel_shape)) * inv_std
+    out_data = normalised * weight.data.reshape(channel_shape) + bias.data.reshape(channel_shape)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        axes = (0, 2, 3)
+        if weight.requires_grad:
+            weight._accumulate((grad * normalised).sum(axis=axes))
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            grad_normalised = grad * weight.data.reshape(channel_shape)
+            if training:
+                grad_mean = grad_normalised.mean(axis=axes, keepdims=True)
+                grad_dot = (grad_normalised * normalised).mean(axis=axes, keepdims=True)
+                x._accumulate((grad_normalised - grad_mean - normalised * grad_dot) * inv_std)
+            else:
+                x._accumulate(grad_normalised * inv_std)
+
+    return Tensor._make(out_data, (x, weight, bias), backward_fn, "batch_norm2d")
+
+
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     """Return a ``(N, num_classes)`` one-hot float encoding of integer labels."""
     labels = np.asarray(labels, dtype=np.int64).reshape(-1)

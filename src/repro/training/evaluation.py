@@ -9,18 +9,29 @@ import numpy as np
 from repro.attacks.pgd import PGDConfig, pgd_attack
 from repro.data.corruptions import available_corruptions, corrupt
 from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.fuse import maybe_fuse
 from repro.nn.module import Module
 from repro.tensor import Tensor, no_grad
 
 
-def predict_logits(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+def predict_logits(
+    model: Module, images: np.ndarray, batch_size: int = 64, fused: bool = True
+) -> np.ndarray:
     """Run the model in evaluation mode and return logits for ``images``.
+
+    When ``fused`` is true (the default) and the model contains foldable
+    Conv+BN pairs, the batches run through an inference-only fused copy
+    (see :mod:`repro.nn.fuse`), which skips one full pass over every
+    intermediate activation per pair.  Models without BatchNorm — and
+    already-fused copies — pass through unchanged.
 
     An empty ``images`` array still produces logits with the full class
     dimension (shape ``(0, C, ...)``) by running one zero-length forward
     pass, so downstream ``argmax(axis=1)`` keeps working.
     """
     model.eval()
+    if fused:
+        model = maybe_fuse(model)
     outputs = []
     with no_grad():
         for start in range(0, len(images), batch_size):
@@ -45,7 +56,15 @@ def evaluate_adversarial_accuracy(
     batch_size: int = 64,
     seed: int = 0,
 ) -> float:
-    """Accuracy under a PGD attack with the given configuration."""
+    """Accuracy under a PGD attack with the given configuration.
+
+    Both the attack and the scoring run against the *unfused* model:
+    the attack's loss gradients define the threat model, and scoring
+    with anything but the attacked network (even a fused copy that
+    agrees to float tolerance) could flip boundary samples and shift
+    the metric.  The scoring forward is a small fraction of the
+    multi-step attack loop, so there is nothing to win by fusing it.
+    """
     attack = attack if attack is not None else PGDConfig()
     rng = np.random.default_rng(seed)
     model.eval()
@@ -67,11 +86,15 @@ def evaluate_corruption_accuracy(
     severity: int = 3,
     batch_size: int = 64,
     seed: int = 0,
+    inference_model: Optional[Module] = None,
 ) -> float:
     """Mean accuracy across all implemented corruptions at the given severity."""
+    model.eval()
+    if inference_model is None:
+        inference_model = maybe_fuse(model)  # fold Conv+BN once, not per corruption
     accuracies = []
     for index, corruption in enumerate(available_corruptions()):
         corrupted = corrupt(dataset.images, corruption, severity=severity, seed=seed + index)
-        logits = predict_logits(model, corrupted, batch_size=batch_size)
+        logits = predict_logits(inference_model, corrupted, batch_size=batch_size, fused=False)
         accuracies.append(float((logits.argmax(axis=1) == dataset.labels).mean()))
     return float(np.mean(accuracies))

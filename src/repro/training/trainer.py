@@ -8,6 +8,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.fuse import maybe_fuse
 from repro.nn.module import Module, Parameter
 from repro.optim import SGD, MultiStepLR
 from repro.optim.optimizer import Optimizer
@@ -146,14 +147,20 @@ class Trainer:
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(self, dataset: ArrayDataset, batch_size: int = 64) -> float:
-        """Top-1 accuracy of the model on ``dataset``."""
+        """Top-1 accuracy of the model on ``dataset``.
+
+        Evaluation batches run through an inference-only Conv+BN-fused
+        copy of the model when folding applies (see
+        :mod:`repro.nn.fuse`); the trained model itself is untouched.
+        """
         self.model.eval()
+        inference_model = maybe_fuse(self.model)
         loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
         correct = 0
         total = 0
         with no_grad():
             for images, labels in loader:
-                logits = self.model(Tensor(images)).data
+                logits = inference_model(Tensor(images)).data
                 predictions = logits.argmax(axis=1)
                 # Works for both (N,) class labels and (N, H, W) dense labels.
                 correct += int((predictions == labels).sum())

@@ -1,0 +1,117 @@
+"""Tests for eval-time Conv2d + BatchNorm2d folding (:mod:`repro.nn.fuse`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.heads import ClassifierHead, SegmentationModel
+from repro.models.resnet import BasicBlock, Bottleneck, resnet18
+from repro.nn import BatchNorm2d, Conv2d, Identity, Sequential
+from repro.nn.fuse import fold_conv_bn, fuse, fusible_pairs, maybe_fuse
+from repro.tensor import Tensor, cross_entropy, default_dtype_scope, no_grad
+from repro.training.evaluation import predict_logits
+from repro.utils.seeding import seeded_rng
+
+#: Fused-vs-unfused output agreement tolerance per compute dtype.
+_TOLERANCES = {np.float32: dict(rtol=1e-4, atol=1e-5), np.float64: dict(rtol=1e-10, atol=1e-12)}
+
+
+def _train_batchnorms(model, x, steps: int = 2) -> None:
+    """Run a few training forward/backward passes so BN stats are non-trivial."""
+    model.train()
+    for _ in range(steps):
+        out = model(Tensor(x))
+        loss = (out * out).mean() if out.ndim > 2 else cross_entropy(out, np.zeros(len(x), dtype=np.int64))
+        loss.backward()
+        model.zero_grad()
+    model.eval()
+
+
+class TestFoldConvBn:
+    @pytest.mark.parametrize("conv_bias", [False, True], ids=["no-bias", "bias"])
+    def test_fold_matches_sequential(self, rng, conv_bias, grad_dtype):
+        with default_dtype_scope(grad_dtype):
+            conv = Conv2d(3, 8, 3, stride=1, padding=1, bias=conv_bias, rng=seeded_rng(0))
+            bn = BatchNorm2d(8)
+            model = Sequential(conv, bn)
+            x = rng.uniform(-1.0, 1.0, size=(4, 3, 10, 10))
+            _train_batchnorms(model, x)
+            fused = fold_conv_bn(conv, bn)
+            fused.eval()
+            with no_grad():
+                expected = bn(conv(Tensor(x))).data
+                actual = fused(Tensor(x)).data
+        assert fused.bias is not None
+        np.testing.assert_allclose(actual, expected, **_TOLERANCES[grad_dtype])
+
+    def test_channel_mismatch_rejected(self):
+        conv = Conv2d(3, 8, 3, rng=seeded_rng(0))
+        with pytest.raises(ValueError):
+            fold_conv_bn(conv, BatchNorm2d(4))
+
+
+class TestFuseBlocks:
+    @pytest.mark.parametrize("stride", [1, 2], ids=["identity-downsample", "conv-downsample"])
+    @pytest.mark.parametrize("block_cls", [BasicBlock, Bottleneck])
+    def test_fused_block_matches(self, rng, block_cls, stride, grad_dtype):
+        with default_dtype_scope(grad_dtype):
+            block = block_cls(8, 8 // block_cls.expansion, stride=stride, rng=seeded_rng(1))
+            x = rng.uniform(-1.0, 1.0, size=(4, 8, 8, 8))
+            _train_batchnorms(block, x)
+            fused = fuse(block)
+            with no_grad():
+                expected = block(Tensor(x)).data
+                actual = fused(Tensor(x)).data
+        np.testing.assert_allclose(actual, expected, **_TOLERANCES[grad_dtype])
+        if stride == 1:
+            assert isinstance(block.downsample, Identity)
+
+    def test_fuse_removes_all_batchnorms(self, rng):
+        model = ClassifierHead(resnet18(base_width=4, seed=0), num_classes=5, seed=1)
+        assert fusible_pairs(model) > 0
+        fused = fuse(model)
+        assert fusible_pairs(fused) == 0
+        assert not any(isinstance(m, BatchNorm2d) for m in fused.modules())
+
+    def test_fuse_leaves_source_model_untouched(self, rng, small_batch):
+        images, _ = small_batch
+        model = ClassifierHead(resnet18(base_width=4, seed=0), num_classes=6, seed=1)
+        _train_batchnorms(model, images)
+        before = {name: value.copy() for name, value in model.state_dict().items()}
+        fuse(model)
+        after = model.state_dict()
+        assert set(before) == set(after)
+        for name, value in before.items():
+            np.testing.assert_array_equal(value, after[name])
+
+    def test_fused_predictions_identical_on_seed_fixtures(self, tiny_classifier, small_batch):
+        images, _ = small_batch
+        _train_batchnorms(tiny_classifier, images)
+        unfused = predict_logits(tiny_classifier, images, fused=False)
+        fused_logits = predict_logits(tiny_classifier, images, fused=True)
+        np.testing.assert_allclose(fused_logits, unfused, rtol=1e-9, atol=1e-11)
+        np.testing.assert_array_equal(fused_logits.argmax(axis=1), unfused.argmax(axis=1))
+
+    def test_segmentation_head_fuses(self, rng):
+        model = SegmentationModel(resnet18(base_width=4, seed=0), num_classes=3, seed=2)
+        x = rng.uniform(0.0, 1.0, size=(2, 3, 16, 16))
+        _train_batchnorms(model, x)
+        fused = fuse(model)
+        with no_grad():
+            expected = model(Tensor(x)).data
+            actual = fused(Tensor(x)).data
+        np.testing.assert_allclose(actual, expected, rtol=1e-9, atol=1e-11)
+
+
+class TestMaybeFuse:
+    def test_passthrough_without_batchnorm(self):
+        model = Sequential(Conv2d(3, 4, 3, rng=seeded_rng(0)))
+        assert maybe_fuse(model) is model
+
+    def test_fused_copy_is_idempotent(self):
+        model = ClassifierHead(resnet18(base_width=4, seed=0), num_classes=4, seed=1)
+        model.eval()
+        fused = maybe_fuse(model)
+        assert fused is not model
+        assert maybe_fuse(fused) is fused

@@ -21,6 +21,8 @@ from repro.nn import init
 from repro.tensor import Tensor
 from repro.utils.seeding import seeded_rng
 
+from tests.helpers import check_gradient
+
 
 class TestLinear:
     def test_output_shape_and_value(self, rng):
@@ -81,6 +83,24 @@ class TestBatchNorm:
         out.sum().backward()
         assert layer.weight.grad is not None
         assert layer.bias.grad is not None
+
+    @pytest.mark.parametrize("training", [True, False], ids=["training", "eval"])
+    def test_input_gradient_matches_finite_differences(self, rng, grad_dtype, training):
+        """The fused batch_norm2d backward (full Jacobian in training
+        mode, pure rescale in eval) against central differences."""
+        x = rng.normal(size=(3, 2, 4, 4))
+
+        def build_loss(t):
+            layer = BatchNorm2d(2)
+            layer.weight.data[...] = [1.5, 0.5]
+            layer.bias.data[...] = [0.1, -0.2]
+            if not training:
+                layer.running_mean[...] = [0.3, -0.4]
+                layer.running_var[...] = [1.2, 0.8]
+                layer.eval()
+            return (layer(t) ** 2).sum()
+
+        check_gradient(build_loss, x, dtype=grad_dtype)
 
 
 class TestSimpleLayers:

@@ -1,0 +1,157 @@
+"""Tests for the multi-process sweep runner (:mod:`repro.core.parallel`)."""
+
+from __future__ import annotations
+
+import functools
+import os
+import uuid
+
+import numpy as np
+import pytest
+
+from repro.core.cache import SweepCache
+from repro.core.parallel import SweepRunner, default_workers, run_sweep
+from repro.core.pipeline import PipelineConfig, RobustTicketPipeline
+
+
+def _square(value):
+    return value * value
+
+
+def _pid_and_square(value):
+    return os.getpid(), value * value
+
+
+def _record_call(directory, value):
+    """Point function with an observable cross-process side effect."""
+    with open(os.path.join(directory, f"{value}-{uuid.uuid4().hex}"), "w"):
+        pass
+    return value + 1
+
+
+def _record_call_first(directory, value):
+    """Like :func:`_record_call` but for unhashable (list) points."""
+    with open(os.path.join(directory, f"{value[0]}-{uuid.uuid4().hex}"), "w"):
+        pass
+    return value[0]
+
+
+def _explode(value):
+    raise RuntimeError(f"boom on {value}")
+
+
+def _tiny_pipeline(cache_dir=None) -> RobustTicketPipeline:
+    config = PipelineConfig(
+        base_width=4,
+        source_classes=4,
+        source_train_size=32,
+        source_test_size=16,
+        pretrain_epochs=1,
+        attack_steps=1,
+        cache_dir=cache_dir,
+    )
+    return RobustTicketPipeline(config)
+
+
+class TestSweepRunner:
+    def test_serial_matches_parallel(self):
+        points = list(range(8))
+        serial = SweepRunner(workers=1).map(_square, points)
+        parallel = SweepRunner(workers=2).map(_square, points)
+        assert serial == parallel == [p * p for p in points]
+
+    def test_results_follow_input_order(self):
+        points = [5, 3, 9, 1, 7]
+        assert SweepRunner(workers=2).map(_square, points) == [25, 9, 81, 1, 49]
+
+    def test_parallel_uses_multiple_processes(self):
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip("single-CPU machine may serialise the pool")
+        results = SweepRunner(workers=2).map(_pid_and_square, list(range(8)))
+        assert [square for _, square in results] == [v * v for v in range(8)]
+
+    def test_duplicate_points_evaluated_once(self, tmp_path):
+        directory = str(tmp_path)
+        fn = functools.partial(_record_call, directory)
+        results = SweepRunner(workers=2).map(fn, [3, 3, 4, 3, 4])
+        assert results == [4, 4, 5, 4, 5]
+        assert len(os.listdir(directory)) == 2  # one evaluation per distinct point
+
+    def test_unhashable_points_skip_dedup(self, tmp_path):
+        directory = str(tmp_path)
+        fn = functools.partial(_record_call_first, directory)
+        assert SweepRunner(workers=1).map(fn, [[1], [1]]) == [1, 1]
+        assert len(os.listdir(directory)) == 2
+
+    def test_empty_points(self):
+        assert SweepRunner(workers=4).map(_square, []) == []
+
+    def test_workers_one_never_spawns(self, monkeypatch):
+        # Poison the executor: the serial path must not touch it.
+        monkeypatch.setattr(
+            "repro.core.parallel.ProcessPoolExecutor",
+            None,
+        )
+        assert SweepRunner(workers=1).map(_square, [1, 2]) == [1, 4]
+
+    def test_point_errors_propagate(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            SweepRunner(workers=2).map(_explode, [1, 2, 3])
+        with pytest.raises(RuntimeError, match="boom"):
+            SweepRunner(workers=1).map(_explode, [1])
+
+    def test_run_sweep_wrapper(self):
+        assert run_sweep(_square, [2, 3], workers=1) == [4, 9]
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "not-a-number")
+        assert default_workers() == 1
+
+
+class TestPipelineSweep:
+    def test_sweep_matches_serial_and_orders_points(self):
+        pipeline = _tiny_pipeline()
+        points = [("robust", 0.5), ("natural", 0.5), ("robust", 0.8)]
+        serial = pipeline.sweep_omp_tickets(points, workers=1)
+        parallel = pipeline.sweep_omp_tickets(points, workers=2)
+        assert [t.prior for t in serial] == ["adversarial", "natural", "adversarial"]
+        for ticket_a, ticket_b in zip(serial, parallel):
+            assert ticket_a.prior == ticket_b.prior
+            assert ticket_a.sparsity == ticket_b.sparsity
+            for name in ticket_a.mask.names():
+                np.testing.assert_array_equal(ticket_a.mask[name], ticket_b.mask[name])
+
+    def test_workers_share_the_disk_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "sweeps")
+        pipeline = _tiny_pipeline(cache_dir=cache_dir)
+        points = [("robust", 0.5), ("robust", 0.8)]
+        tickets = pipeline.sweep_omp_tickets(points, workers=2)
+        # Pretraining was prewarmed once and every worker-drawn ticket
+        # landed in the shared cache.
+        entries = os.listdir(cache_dir)
+        assert sum(name.startswith("pretrain-") for name in entries) == 1
+        assert sum(name.startswith("ticket-") for name in entries) == len(points)
+        # A fresh pipeline (fresh process in real sweeps) hits the cache:
+        # drawing the same tickets must not require re-pretraining.
+        rebuilt = _tiny_pipeline(cache_dir=cache_dir)
+        cached = rebuilt.draw_omp_ticket("robust", 0.5)
+        assert rebuilt._pretrained == {}  # served entirely from disk
+        for name in tickets[0].mask.names():
+            np.testing.assert_array_equal(cached.mask[name], tickets[0].mask[name])
+
+    def test_cache_roundtrip_is_bitwise(self, tmp_path):
+        cache_dir = str(tmp_path / "sweeps")
+        pipeline = _tiny_pipeline(cache_dir=cache_dir)
+        [ticket] = pipeline.sweep_omp_tickets([("natural", 0.6)], workers=1)
+        cache = SweepCache(cache_dir)
+        key = pipeline._ticket_key(
+            "natural", ticket_scheme="omp", sparsity=0.6, granularity="unstructured"
+        )
+        loaded = cache.load_ticket(key)
+        assert loaded is not None
+        for name in ticket.mask.names():
+            np.testing.assert_array_equal(loaded.mask[name], ticket.mask[name])

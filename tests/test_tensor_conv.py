@@ -46,21 +46,63 @@ class TestIm2Col:
         assert out_size == (8, 8)
         assert columns.shape == (2 * 8 * 8, 3 * 3 * 3)
 
+    @pytest.mark.parametrize(
+        "kernel,stride,padding",
+        [((3, 3), (1, 1), (1, 1)), ((1, 1), (2, 2), (0, 0)), ((2, 3), (2, 1), (1, 0))],
+        ids=["3x3", "1x1-strided", "asymmetric"],
+    )
+    def test_transposed_layout_matches_row_layout(self, rng, kernel, stride, padding):
+        """The engine's transposed unfold is the row-major unfold, transposed.
+
+        Pins the production ``_im2col_t`` (used by ``conv2d``) to the
+        public reference ``im2col`` (used by the pooling ops) so the two
+        implementations cannot drift apart.
+        """
+        from repro.tensor.conv import _im2col_t
+
+        images = rng.normal(size=(2, 3, 7, 6))
+        columns, out_size = im2col(images, kernel, stride, padding)
+        columns_t, out_size_t = _im2col_t(images, kernel, stride, padding)
+        assert out_size == out_size_t
+        np.testing.assert_array_equal(columns_t, columns.T)
+
     def test_invalid_geometry_raises(self, rng):
         images = rng.normal(size=(1, 1, 2, 2))
         with pytest.raises(ValueError):
             im2col(images, (5, 5), (1, 1), (0, 0))
 
-    def test_col2im_is_adjoint_of_im2col(self, rng):
-        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+    @pytest.mark.parametrize(
+        "kernel,stride,padding",
+        [
+            ((3, 3), (2, 2), (1, 1)),
+            ((1, 1), (1, 1), (0, 0)),  # 1x1 fast path: direct strided write
+            ((2, 2), (2, 2), (0, 0)),  # non-overlapping fast path (pooling)
+            ((5, 5), (1, 1), (2, 2)),  # >16-tap path: segmented reduceat scatter
+        ],
+        ids=["3x3-overlap", "1x1", "non-overlap", "5x5-scatter"],
+    )
+    def test_col2im_is_adjoint_of_im2col(self, rng, kernel, stride, padding):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+
+        Parametrised over every dispatch branch of ``col2im`` (strided
+        write, scatter-add, strided-add loop).
+        """
         images = rng.normal(size=(2, 3, 6, 6))
-        kernel, stride, padding = (3, 3), (2, 2), (1, 1)
         columns, _ = im2col(images, kernel, stride, padding)
         probe = rng.normal(size=columns.shape)
         lhs = float((columns * probe).sum())
         folded = col2im(probe, images.shape, kernel, stride, padding)
         rhs = float((images * folded).sum())
         assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_large_kernel_conv_gradient(self, rng):
+        """5x5 stride-1 convolutions exercise the reduceat scatter branch."""
+        weight = rng.normal(size=(2, 2, 5, 5))
+        images = rng.normal(size=(2, 2, 6, 6))
+        check_gradient(
+            lambda t: (conv2d(t, Tensor(weight), stride=1, padding=2) ** 2).sum(),
+            images,
+        )
 
 
 class TestConv2d:
