@@ -62,11 +62,12 @@ def context(scale):
 
 @pytest.fixture(scope="session")
 def workers() -> int:
-    """Worker processes for sweep-capable figure benchmarks.
+    """Worker processes for the figure/ablation benchmarks.
 
-    Defaults to serial; export ``REPRO_SWEEP_WORKERS=N`` to fan the
-    independent grid points of the supporting figures out across
-    processes (results are identical either way).
+    Every experiment dispatches through the shared grid dispatcher now,
+    so this applies to all of them.  Defaults to serial; export
+    ``REPRO_SWEEP_WORKERS=N`` to fan the independent grid points out
+    across processes (results are identical either way).
     """
     return default_workers()
 

@@ -59,6 +59,20 @@ def config_hash(payload: Dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+def staging_path(path: str) -> str:
+    """A per-writer unique temp path next to ``path`` for atomic writes.
+
+    Multi-process sweeps can store the same entry concurrently (e.g.
+    two workers missing on an identical artefact); a fixed ``.tmp``
+    name would let one writer's ``os.replace`` consume or tear the
+    other's half-written file, so every writer stages under its own
+    pid+uuid name and the last atomic rename wins.  Shared by
+    :class:`SweepCache` and :class:`repro.core.runstore.RunStore`.
+    """
+    base, _ = os.path.splitext(path)
+    return f"{base}.{os.getpid()}-{uuid.uuid4().hex}.tmp"
+
+
 class SweepCache:
     """Content-addressed on-disk store for pipeline artefacts."""
 
@@ -69,15 +83,8 @@ class SweepCache:
         return os.path.join(self.root, f"{kind}-{key}.npz")
 
     def _staging_path(self, path: str) -> str:
-        """A per-writer unique temp path next to ``path``.
-
-        Multi-process sweeps can store the same key concurrently (e.g.
-        two workers missing on an identical ticket); a fixed ``.tmp``
-        name would let one writer's ``os.replace`` consume or tear the
-        other's half-written file, so every writer stages under its own
-        pid+uuid name and the last atomic rename wins.
-        """
-        return f"{path[: -len('.npz')]}.{os.getpid()}-{uuid.uuid4().hex}.tmp"
+        """A per-writer unique temp path next to ``path`` (see :func:`staging_path`)."""
+        return staging_path(path)
 
     def _store(self, kind: str, key: str, payload: Dict[str, np.ndarray]) -> str:
         path = self._path(kind, key)

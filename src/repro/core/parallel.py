@@ -22,6 +22,11 @@ backbones prewarmed into :class:`~repro.core.cache.SweepCache` (or
 simply into process memory) are shared with the workers for free.  On
 spawn platforms workers rebuild state on demand, which is where the
 disk-backed sweep cache keeps the fan-out cheap.
+
+Every experiment runner dispatches through this module (via
+:func:`repro.experiments.grid.sweep_grid`), with completed points
+checkpointed to :class:`repro.core.runstore.RunStore` as they land, so
+a killed sweep — serial or parallel — restarts warm.
 """
 
 from __future__ import annotations
@@ -162,11 +167,14 @@ class SweepRunner:
         return [results[position[point]] for point in points]
 
     def _map_parallel(self, fn: Callable[[Point], Result], points: List[Point]) -> List[Result]:
+        workers = min(self.workers, len(points))
+        # Paper-scale grids have hundreds of points; batching several per
+        # pickle round-trip keeps the executor's IPC overhead negligible
+        # while still leaving every worker ~8 chunks for load balancing.
+        chunksize = max(1, len(points) // (workers * 8))
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(points)), mp_context=_fork_context()
-            ) as pool:
-                return list(pool.map(_GuardedPoint(fn), points))
+            with ProcessPoolExecutor(max_workers=workers, mp_context=_fork_context()) as pool:
+                return list(pool.map(_GuardedPoint(fn), points, chunksize=chunksize))
         except _PointFailure as failure:
             # The point function itself failed: abort exactly as the
             # serial path would, with the original exception.

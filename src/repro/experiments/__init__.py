@@ -19,9 +19,11 @@ from repro.experiments.context import (
     shared_context,
     shared_context_scope,
 )
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.experiments.registry import (
     EXPERIMENTS,
     available_experiments,
+    get_spec,
     run_experiment,
     supports_workers,
 )
@@ -35,7 +37,10 @@ __all__ = [
     "ExperimentContext",
     "shared_context",
     "shared_context_scope",
+    "ExperimentSpec",
+    "GridPlan",
     "EXPERIMENTS",
+    "get_spec",
     "run_experiment",
     "available_experiments",
     "supports_workers",

@@ -1,130 +1,209 @@
 """Ablation studies beyond the paper's figures.
 
-* :func:`perturbation_strength_ablation` — sweeps the PGD epsilon used
+* ``perturbation_strength_ablation`` — sweeps the PGD epsilon used
   during robust pretraining; the paper notes that the robustness prior
   must be "properly induced", and this ablation quantifies how the
   transferred accuracy depends on the perturbation strength.
-* :func:`granularity_gap_ablation` — quantifies the paper's observation
+* ``granularity_gap_ablation`` — quantifies the paper's observation
   that coarser sparsity patterns inherit less of the robustness prior,
   by measuring the robust-vs-natural gap per granularity.
-* :func:`mask_overlap_analysis` — how similar are robust and natural
+* ``mask_overlap_analysis`` — how similar are robust and natural
   masks?  A low overlap at equal sparsity shows the robustness prior
   selects genuinely different subnetworks rather than re-ranking the
   same ones.
+
+Each ablation is an :class:`~repro.experiments.spec.ExperimentSpec`
+exactly like the figure runners, so all three parallelise across
+workers and resume from the run store.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import os
+from typing import Dict, Optional, Sequence
 
+from repro.core.cache import CACHE_ENV_VAR
 from repro.core.pipeline import PipelineConfig, RobustTicketPipeline
-from repro.experiments.config import get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.pruning.granularity import GRANULARITIES
 from repro.training.trainer import TrainerConfig
 
 
-def perturbation_strength_ablation(
-    scale="smoke",
+# ----------------------------------------------------------------------
+# Adversarial pretraining strength (epsilon)
+# ----------------------------------------------------------------------
+def _evaluate_epsilon_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    epsilon: float,
+    sparsity: float,
+) -> Dict[str, object]:
+    """One epsilon: pretrain at that strength, draw and transfer a ticket.
+
+    The pipeline is built per point (its ``attack_epsilon`` differs from
+    the context's), backed by the disk sweep cache when enabled;
+    ``epsilon = 0`` degenerates to natural pretraining, so that row
+    doubles as the natural baseline.
+    """
+    task = context.task(task_name)
+    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
+    config = PipelineConfig(
+        model_name=model_name,
+        base_width=scale.base_width,
+        source_classes=scale.source_classes,
+        source_train_size=scale.source_train_size,
+        source_test_size=scale.source_test_size,
+        pretrain_epochs=scale.pretrain_epochs,
+        attack_epsilon=epsilon,
+        attack_steps=scale.attack_steps,
+        seed=scale.seed,
+        cache_dir=os.environ.get(CACHE_ENV_VAR) or None,
+    )
+    pipeline = RobustTicketPipeline(config)
+    prior = "natural" if epsilon == 0.0 else "robust"
+    ticket = pipeline.draw_omp_ticket(prior, sparsity)
+    result = pipeline.transfer(ticket, task, mode="finetune", config=finetune_config)
+    return dict(
+        epsilon=epsilon,
+        sparsity=round(sparsity, 4),
+        source_accuracy=pipeline.pretrain(prior).source_accuracy,
+        downstream_accuracy=result.score,
+    )
+
+
+def _epsilon_grid(
+    scale: ExperimentScale,
     epsilons: Sequence[float] = (0.0, 0.015, 0.03, 0.06),
     task_name: str = "cifar10",
     sparsity: Optional[float] = None,
     model: str = "resnet18",
-) -> ResultTable:
-    """Sweep the adversarial pretraining strength epsilon.
+) -> GridPlan:
+    sparsity = float(sparsity) if sparsity is not None else float(scale.sparsity_grid[-1])
+    points = tuple((model, task_name, float(epsilon), sparsity) for epsilon in epsilons)
+    # The per-epsilon pipelines differ from the context's, so there is
+    # nothing to prewarm beyond the shared downstream task.
+    return GridPlan(points=points, models=(), tasks=(task_name,))
 
-    ``epsilon = 0`` degenerates to natural pretraining, so the first row
-    doubles as the natural baseline.
-    """
-    scale = get_scale(scale)
-    sparsity = sparsity if sparsity is not None else scale.sparsity_grid[-1]
-    context = shared_context(scale)
+
+PERTURBATION_STRENGTH_SPEC = ExperimentSpec(
+    identifier="ablation_epsilon",
+    title="Ablation: adversarial pretraining strength (epsilon)",
+    description="transferred accuracy vs the PGD epsilon used for pretraining",
+    evaluate=_evaluate_epsilon_point,
+    grid=_epsilon_grid,
+    columns=("epsilon", "sparsity", "source_accuracy", "downstream_accuracy"),
+)
+
+#: Callable runner (``perturbation_strength_ablation(scale=..., epsilons=..., ...)``).
+perturbation_strength_ablation = PERTURBATION_STRENGTH_SPEC
+
+
+# ----------------------------------------------------------------------
+# Robustness-prior inheritance per granularity
+# ----------------------------------------------------------------------
+def _evaluate_granularity_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    granularity: str,
+    sparsity: float,
+) -> Dict[str, object]:
+    """One granularity: both priors' tickets finetuned on the task."""
+    pipeline = context.pipeline(model_name)
     task = context.task(task_name)
     finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
-
-    table = ResultTable("Ablation: adversarial pretraining strength (epsilon)")
-    for epsilon in epsilons:
-        config = PipelineConfig(
-            model_name=model,
-            base_width=scale.base_width,
-            source_classes=scale.source_classes,
-            source_train_size=scale.source_train_size,
-            source_test_size=scale.source_test_size,
-            pretrain_epochs=scale.pretrain_epochs,
-            attack_epsilon=epsilon,
-            attack_steps=scale.attack_steps,
-            seed=scale.seed,
-        )
-        pipeline = RobustTicketPipeline(config)
-        prior = "natural" if epsilon == 0.0 else "robust"
-        ticket = pipeline.draw_omp_ticket(prior, sparsity)
-        result = pipeline.transfer(ticket, task, mode="finetune", config=finetune_config)
-        table.add_row(
-            epsilon=epsilon,
-            sparsity=round(sparsity, 4),
-            source_accuracy=pipeline.pretrain(prior).source_accuracy,
-            downstream_accuracy=result.score,
-        )
-    return table
+    robust = pipeline.draw_omp_ticket("robust", sparsity, granularity=granularity)
+    natural = pipeline.draw_omp_ticket("natural", sparsity, granularity=granularity)
+    robust_result = pipeline.transfer(robust, task, mode="finetune", config=finetune_config)
+    natural_result = pipeline.transfer(natural, task, mode="finetune", config=finetune_config)
+    return dict(
+        granularity=granularity,
+        sparsity=round(sparsity, 4),
+        robust_accuracy=robust_result.score,
+        natural_accuracy=natural_result.score,
+        gap=robust_result.score - natural_result.score,
+    )
 
 
-def granularity_gap_ablation(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _granularity_grid(
+    scale: ExperimentScale,
     task_name: str = "cifar10",
     sparsity: Optional[float] = None,
     model: Optional[str] = None,
-) -> ResultTable:
-    """Robust-vs-natural accuracy gap as a function of sparsity granularity."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     model = model if model is not None else scale.models[-1]
-    sparsity = sparsity if sparsity is not None else scale.structured_sparsity_grid[-1]
-    pipeline = context.pipeline(model)
-    task = context.task(task_name)
-    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
-
-    table = ResultTable("Ablation: robustness-prior inheritance per granularity")
-    for granularity in GRANULARITIES:
-        robust = pipeline.draw_omp_ticket("robust", sparsity, granularity=granularity)
-        natural = pipeline.draw_omp_ticket("natural", sparsity, granularity=granularity)
-        robust_result = pipeline.transfer(robust, task, mode="finetune", config=finetune_config)
-        natural_result = pipeline.transfer(natural, task, mode="finetune", config=finetune_config)
-        table.add_row(
-            granularity=granularity,
-            sparsity=round(sparsity, 4),
-            robust_accuracy=robust_result.score,
-            natural_accuracy=natural_result.score,
-            gap=robust_result.score - natural_result.score,
-        )
-    return table
+    sparsity = (
+        float(sparsity) if sparsity is not None else float(scale.structured_sparsity_grid[-1])
+    )
+    points = tuple(
+        (model, task_name, granularity, sparsity) for granularity in GRANULARITIES
+    )
+    return GridPlan(points=points, models=(model,), tasks=(task_name,))
 
 
-def mask_overlap_analysis(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+GRANULARITY_GAP_SPEC = ExperimentSpec(
+    identifier="ablation_granularity",
+    title="Ablation: robustness-prior inheritance per granularity",
+    description="robust-vs-natural gap per sparsity granularity",
+    evaluate=_evaluate_granularity_point,
+    grid=_granularity_grid,
+    columns=("granularity", "sparsity", "robust_accuracy", "natural_accuracy", "gap"),
+)
+
+#: Callable runner (``granularity_gap_ablation(scale=..., context=..., ...)``).
+granularity_gap_ablation = GRANULARITY_GAP_SPEC
+
+
+# ----------------------------------------------------------------------
+# Overlap between robust and natural masks
+# ----------------------------------------------------------------------
+def _evaluate_overlap_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    sparsity: float,
+) -> Dict[str, object]:
+    """One sparsity: Jaccard overlap between the two priors' masks."""
+    pipeline = context.pipeline(model_name)
+    robust = pipeline.draw_omp_ticket("robust", sparsity)
+    natural = pipeline.draw_omp_ticket("natural", sparsity)
+    return dict(
+        model=model_name,
+        sparsity=round(sparsity, 4),
+        overlap=robust.mask.overlap(natural.mask),
+        robust_remaining=robust.mask.num_remaining(),
+        natural_remaining=natural.mask.num_remaining(),
+    )
+
+
+def _overlap_grid(
+    scale: ExperimentScale,
     sparsities: Optional[Sequence[float]] = None,
     model: Optional[str] = None,
-) -> ResultTable:
-    """Jaccard overlap between robust and natural OMP masks per sparsity."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     model = model if model is not None else scale.models[0]
-    sparsities = tuple(sparsities) if sparsities is not None else (
-        scale.sparsity_grid + scale.high_sparsity_grid
+    sparsities = (
+        tuple(sparsities)
+        if sparsities is not None
+        else scale.sparsity_grid + scale.high_sparsity_grid
     )
-    pipeline = context.pipeline(model)
+    points = tuple((model, float(sparsity)) for sparsity in sparsities)
+    return GridPlan(points=points, models=(model,))
 
-    table = ResultTable("Ablation: overlap between robust and natural masks")
-    for sparsity in sparsities:
-        robust = pipeline.draw_omp_ticket("robust", sparsity)
-        natural = pipeline.draw_omp_ticket("natural", sparsity)
-        table.add_row(
-            model=model,
-            sparsity=round(sparsity, 4),
-            overlap=robust.mask.overlap(natural.mask),
-            robust_remaining=robust.mask.num_remaining(),
-            natural_remaining=natural.mask.num_remaining(),
-        )
-    return table
+
+MASK_OVERLAP_SPEC = ExperimentSpec(
+    identifier="ablation_mask_overlap",
+    title="Ablation: overlap between robust and natural masks",
+    description="Jaccard overlap of robust vs natural OMP masks per sparsity",
+    evaluate=_evaluate_overlap_point,
+    grid=_overlap_grid,
+    columns=("model", "sparsity", "overlap", "robust_remaining", "natural_remaining"),
+)
+
+#: Callable runner (``mask_overlap_analysis(scale=..., context=..., ...)``).
+mask_overlap_analysis = MASK_OVERLAP_SPEC

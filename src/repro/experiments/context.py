@@ -71,18 +71,33 @@ class ExperimentContext:
             )
         return self._tasks[key]
 
-    def prewarm(self, models, priors=("robust", "natural")) -> None:
-        """Pretrain (or cache-load) the dense models a sweep will need.
+    def prewarm(
+        self,
+        models,
+        priors=("robust", "natural"),
+        tasks=(),
+        segmentation: bool = False,
+        vtab: bool = False,
+    ) -> None:
+        """Pretrain/build every shared artefact a sweep will need.
 
         Parallel experiment runners call this before forking workers so
-        that every expensive backbone exists exactly once — in this
-        process's memory (inherited by forked workers) and, when the
-        sweep cache is enabled, on disk for spawn-based platforms.
+        that every expensive backbone (and each named downstream task,
+        the segmentation task, or the VTAB-like suite when requested)
+        exists exactly once — in this process's memory (inherited by
+        forked workers) and, when the sweep cache is enabled, on disk
+        for spawn-based platforms.
         """
         for model_name in models:
             pipeline = self.pipeline(model_name)
             for prior in priors:
                 pipeline.pretrain(prior)
+        for task_name in dict.fromkeys(tasks):
+            self.task(task_name)
+        if segmentation:
+            self.segmentation()
+        if vtab:
+            self.vtab()
 
     def segmentation(self) -> SegmentationTask:
         if self._segmentation is None:

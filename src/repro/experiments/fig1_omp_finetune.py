@@ -5,20 +5,21 @@ ResNet18/50, transferred to the CIFAR-10/100 stand-ins with whole-model
 finetuning, swept over sparsity (including the extreme-sparsity zoom-in
 of the paper via ``high_sparsity_grid``).
 
-The ``(model, task, sparsity)`` grid points are independent given the
-pretrained dense models, so ``workers > 1`` fans them out across worker
-processes (see :func:`repro.experiments.grid.sweep_grid`); the result
-rows are identical to — and ordered like — the serial sweep.
+The experiment is declared as an
+:class:`~repro.experiments.spec.ExperimentSpec`: the ``(model, task,
+sparsity)`` grid points are independent given the pretrained dense
+models, so ``workers > 1`` fans them out across worker processes, and a
+run store makes the sweep resumable (see
+:func:`repro.experiments.grid.sweep_grid`).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import ExperimentScale, get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.grid import sweep_grid
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.training.trainer import TrainerConfig
 
 
@@ -47,30 +48,34 @@ def _evaluate_point(
     )
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _grid(
+    scale: ExperimentScale,
     models: Optional[Sequence[str]] = None,
     tasks: Optional[Sequence[str]] = None,
     sparsities: Optional[Sequence[float]] = None,
     include_extreme: bool = True,
-    workers: int = 1,
-) -> ResultTable:
-    """Reproduce Fig. 1: finetuning accuracy of robust vs natural OMP tickets."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     models = tuple(models) if models is not None else scale.models
     tasks = tuple(tasks) if tasks is not None else scale.tasks
     if sparsities is None:
         sparsities = scale.sparsity_grid + (scale.high_sparsity_grid if include_extreme else ())
-
-    points = [
+    points = tuple(
         (model_name, task_name, float(sparsity))
         for model_name in models
         for task_name in tasks
         for sparsity in sparsities
-    ]
-    table = ResultTable("Fig. 1: OMP tickets, whole-model finetuning")
-    for row in sweep_grid(_evaluate_point, points, context, scale, models, workers=workers):
-        table.add_row(**row)
-    return table
+    )
+    return GridPlan(points=points, models=models, tasks=tasks)
+
+
+SPEC = ExperimentSpec(
+    identifier="fig1",
+    title="Fig. 1: OMP tickets, whole-model finetuning",
+    description="robust vs natural OMP tickets under whole-model finetuning",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=("model", "task", "sparsity", "robust_accuracy", "natural_accuracy", "gap"),
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

@@ -4,8 +4,9 @@ Same tickets as Fig. 1 but the backbone is frozen and only a linear
 classifier on its pooled features is trained; the paper reports that the
 robust-ticket advantage is largest in this regime.
 
-Like Fig. 1, the grid points are independent given the pretrained dense
-models and fan out across worker processes when ``workers > 1`` (see
+Like Fig. 1, the experiment is declared as an
+:class:`~repro.experiments.spec.ExperimentSpec` whose grid points fan
+out across worker processes and resume from the run store (see
 :func:`repro.experiments.grid.sweep_grid`).
 """
 
@@ -13,10 +14,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import ExperimentScale, get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.grid import sweep_grid
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 
 
 def _evaluate_point(
@@ -43,28 +43,32 @@ def _evaluate_point(
     )
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _grid(
+    scale: ExperimentScale,
     models: Optional[Sequence[str]] = None,
     tasks: Optional[Sequence[str]] = None,
     sparsities: Optional[Sequence[float]] = None,
-    workers: int = 1,
-) -> ResultTable:
-    """Reproduce Fig. 2: linear-evaluation accuracy of robust vs natural OMP tickets."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     models = tuple(models) if models is not None else scale.models
     tasks = tuple(tasks) if tasks is not None else scale.tasks
     sparsities = tuple(sparsities) if sparsities is not None else scale.sparsity_grid
-
-    points = [
+    points = tuple(
         (model_name, task_name, float(sparsity))
         for model_name in models
         for task_name in tasks
         for sparsity in sparsities
-    ]
-    table = ResultTable("Fig. 2: OMP tickets, linear evaluation")
-    for row in sweep_grid(_evaluate_point, points, context, scale, models, workers=workers):
-        table.add_row(**row)
-    return table
+    )
+    return GridPlan(points=points, models=models, tasks=tasks)
+
+
+SPEC = ExperimentSpec(
+    identifier="fig2",
+    title="Fig. 2: OMP tickets, linear evaluation",
+    description="robust vs natural OMP tickets under linear evaluation",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=("model", "task", "sparsity", "robust_accuracy", "natural_accuracy", "gap"),
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

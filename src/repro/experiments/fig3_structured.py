@@ -6,60 +6,99 @@ whole-model finetuning and linear evaluation.  The paper's second
 observation — that coarser patterns inherit less of the robustness prior
 — is visible as a shrinking robust-vs-natural gap from row to channel
 granularity.
+
+Declared as an :class:`~repro.experiments.spec.ExperimentSpec` over
+``(model, task, granularity, sparsity, mode)`` points; each worker
+re-draws the (deterministic, cached) ticket pair for its point, so the
+points stay independent and the sweep parallelises and resumes like
+every other experiment.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.training.trainer import TrainerConfig
 
 #: Structured granularities evaluated, fine to coarse (as in Fig. 3).
 STRUCTURED_GRANULARITIES = ("row", "kernel", "channel")
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    granularity: str,
+    sparsity: float,
+    mode: str,
+) -> Dict[str, object]:
+    """One grid point: both structured tickets evaluated under ``mode``."""
+    pipeline = context.pipeline(model_name)
+    task = context.task(task_name)
+    config = (
+        TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
+        if mode == "finetune"
+        else None
+    )
+    robust = pipeline.draw_omp_ticket("robust", sparsity, granularity=granularity)
+    natural = pipeline.draw_omp_ticket("natural", sparsity, granularity=granularity)
+    robust_result = pipeline.transfer(robust, task, mode=mode, config=config)
+    natural_result = pipeline.transfer(natural, task, mode=mode, config=config)
+    return dict(
+        model=model_name,
+        task=task_name,
+        granularity=granularity,
+        mode=mode,
+        sparsity=round(sparsity, 4),
+        robust_accuracy=robust_result.score,
+        natural_accuracy=natural_result.score,
+        gap=robust_result.score - natural_result.score,
+    )
+
+
+def _grid(
+    scale: ExperimentScale,
     model: Optional[str] = None,
     tasks: Optional[Sequence[str]] = None,
     sparsities: Optional[Sequence[float]] = None,
     granularities: Sequence[str] = STRUCTURED_GRANULARITIES,
     modes: Sequence[str] = ("finetune", "linear"),
-) -> ResultTable:
-    """Reproduce Fig. 3: structured robust vs natural tickets."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     # The paper uses ResNet50 here; default to the largest model in the scale.
     model = model if model is not None else scale.models[-1]
     tasks = tuple(tasks) if tasks is not None else scale.tasks
     sparsities = tuple(sparsities) if sparsities is not None else scale.structured_sparsity_grid
+    points = tuple(
+        (model, task_name, granularity, float(sparsity), mode)
+        for task_name in tasks
+        for granularity in granularities
+        for sparsity in sparsities
+        for mode in modes
+    )
+    return GridPlan(points=points, models=(model,), tasks=tasks)
 
-    table = ResultTable("Fig. 3: structured OMP tickets (row / kernel / channel)")
-    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
-    pipeline = context.pipeline(model)
 
-    for task_name in tasks:
-        task = context.task(task_name)
-        for granularity in granularities:
-            for sparsity in sparsities:
-                robust = pipeline.draw_omp_ticket("robust", sparsity, granularity=granularity)
-                natural = pipeline.draw_omp_ticket("natural", sparsity, granularity=granularity)
-                for mode in modes:
-                    config = finetune_config if mode == "finetune" else None
-                    robust_result = pipeline.transfer(robust, task, mode=mode, config=config)
-                    natural_result = pipeline.transfer(natural, task, mode=mode, config=config)
-                    table.add_row(
-                        model=model,
-                        task=task_name,
-                        granularity=granularity,
-                        mode=mode,
-                        sparsity=round(sparsity, 4),
-                        robust_accuracy=robust_result.score,
-                        natural_accuracy=natural_result.score,
-                        gap=robust_result.score - natural_result.score,
-                    )
-    return table
+SPEC = ExperimentSpec(
+    identifier="fig3",
+    title="Fig. 3: structured OMP tickets (row / kernel / channel)",
+    description="structured robust vs natural tickets, finetune + linear",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=(
+        "model",
+        "task",
+        "granularity",
+        "mode",
+        "sparsity",
+        "robust_accuracy",
+        "natural_accuracy",
+        "gap",
+    ),
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

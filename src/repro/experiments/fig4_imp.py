@@ -8,57 +8,79 @@ Four arms per (model, task, sparsity) point:
 * ``natural_ds`` — vanilla IMP on the downstream task.
 
 Each resulting mask is applied to the corresponding pretrained weights
-(``m ⊙ θ_pre``) and transferred with whole-model finetuning.
+(``m ⊙ θ_pre``) and transferred with whole-model finetuning.  Declared
+as an :class:`~repro.experiments.spec.ExperimentSpec`; the four arms of
+one point are evaluated together, so points parallelise and resume
+independently.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.training.trainer import TrainerConfig
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    sparsity: float,
+) -> Dict[str, object]:
+    """One grid point: all four (A-)IMP arms finetuned on the task."""
+    pipeline = context.pipeline(model_name)
+    task = context.task(task_name)
+    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
+    row: Dict[str, object] = {
+        "model": model_name,
+        "task": task_name,
+        "sparsity": round(sparsity, 4),
+    }
+    for prior in ("robust", "natural"):
+        for origin, origin_label in (("upstream", "us"), ("downstream", "ds")):
+            ticket = pipeline.draw_imp_ticket(
+                prior,
+                sparsity,
+                on=origin,
+                downstream=task,
+                iterations=scale.imp_iterations,
+                epochs_per_iteration=scale.imp_epochs_per_iteration,
+            )
+            result = pipeline.transfer(ticket, task, mode="finetune", config=finetune_config)
+            row[f"{prior}_{origin_label}"] = result.score
+    return row
+
+
+def _grid(
+    scale: ExperimentScale,
     models: Optional[Sequence[str]] = None,
     tasks: Optional[Sequence[str]] = None,
     sparsities: Optional[Sequence[float]] = None,
-) -> ResultTable:
-    """Reproduce Fig. 4: (A-)IMP tickets drawn upstream and downstream."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     models = tuple(models) if models is not None else scale.models
     tasks = tuple(tasks) if tasks is not None else scale.tasks[:1]
     sparsities = tuple(sparsities) if sparsities is not None else scale.sparsity_grid
+    points = tuple(
+        (model_name, task_name, float(sparsity))
+        for model_name in models
+        for task_name in tasks
+        for sparsity in sparsities
+    )
+    return GridPlan(points=points, models=models, tasks=tasks)
 
-    table = ResultTable("Fig. 4: A-IMP (robust) vs IMP (natural) tickets, US and DS")
-    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
 
-    for model_name in models:
-        pipeline = context.pipeline(model_name)
-        for task_name in tasks:
-            task = context.task(task_name)
-            for sparsity in sparsities:
-                row = {
-                    "model": model_name,
-                    "task": task_name,
-                    "sparsity": round(sparsity, 4),
-                }
-                for prior in ("robust", "natural"):
-                    for origin, origin_label in (("upstream", "us"), ("downstream", "ds")):
-                        ticket = pipeline.draw_imp_ticket(
-                            prior,
-                            sparsity,
-                            on=origin,
-                            downstream=task,
-                            iterations=scale.imp_iterations,
-                            epochs_per_iteration=scale.imp_epochs_per_iteration,
-                        )
-                        result = pipeline.transfer(ticket, task, mode="finetune", config=finetune_config)
-                        row[f"{prior}_{origin_label}"] = result.score
-                table.add_row(**row)
-    return table
+SPEC = ExperimentSpec(
+    identifier="fig4",
+    title="Fig. 4: A-IMP (robust) vs IMP (natural) tickets, US and DS",
+    description="A-IMP vs IMP tickets drawn upstream and downstream",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=("model", "task", "sparsity", "robust_us", "robust_ds", "natural_us", "natural_ds"),
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

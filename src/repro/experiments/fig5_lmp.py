@@ -4,48 +4,70 @@ For each (model, task, sparsity) point a task-specific binary mask is
 learned with the straight-through top-k estimator on top of the robustly
 and the naturally pretrained weights; the model weights themselves are
 never updated, so the comparison isolates "which pretrained model hides
-better subnetworks".
+better subnetworks".  Declared as an
+:class:`~repro.experiments.spec.ExperimentSpec`, so the points
+parallelise and resume like every other experiment.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.pruning.lmp import LMPConfig
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    sparsity: float,
+) -> Dict[str, object]:
+    """One grid point: learn both priors' masks, return the row."""
+    pipeline = context.pipeline(model_name)
+    task = context.task(task_name)
+    lmp_config = LMPConfig(sparsity=sparsity, epochs=scale.lmp_epochs, seed=scale.seed)
+    robust = pipeline.lmp_transfer("robust", sparsity, task, lmp_config=lmp_config)
+    natural = pipeline.lmp_transfer("natural", sparsity, task, lmp_config=lmp_config)
+    return dict(
+        model=model_name,
+        task=task_name,
+        sparsity=round(sparsity, 4),
+        robust_accuracy=robust.score,
+        natural_accuracy=natural.score,
+        gap=robust.score - natural.score,
+    )
+
+
+def _grid(
+    scale: ExperimentScale,
     models: Optional[Sequence[str]] = None,
     tasks: Optional[Sequence[str]] = None,
     sparsities: Optional[Sequence[float]] = None,
-) -> ResultTable:
-    """Reproduce Fig. 5: robust vs natural LMP tickets."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     models = tuple(models) if models is not None else scale.models
     tasks = tuple(tasks) if tasks is not None else scale.tasks[:1]
     sparsities = tuple(sparsities) if sparsities is not None else scale.sparsity_grid
+    points = tuple(
+        (model_name, task_name, float(sparsity))
+        for model_name in models
+        for task_name in tasks
+        for sparsity in sparsities
+    )
+    return GridPlan(points=points, models=models, tasks=tasks)
 
-    table = ResultTable("Fig. 5: LMP tickets (learned masks, frozen weights)")
-    for model_name in models:
-        pipeline = context.pipeline(model_name)
-        for task_name in tasks:
-            task = context.task(task_name)
-            for sparsity in sparsities:
-                lmp_config = LMPConfig(sparsity=sparsity, epochs=scale.lmp_epochs, seed=scale.seed)
-                robust = pipeline.lmp_transfer("robust", sparsity, task, lmp_config=lmp_config)
-                natural = pipeline.lmp_transfer("natural", sparsity, task, lmp_config=lmp_config)
-                table.add_row(
-                    model=model_name,
-                    task=task_name,
-                    sparsity=round(sparsity, 4),
-                    robust_accuracy=robust.score,
-                    natural_accuracy=natural.score,
-                    gap=robust.score - natural.score,
-                )
-    return table
+
+SPEC = ExperimentSpec(
+    identifier="fig5",
+    title="Fig. 5: LMP tickets (learned masks, frozen weights)",
+    description="learned-mask (LMP) tickets on frozen robust vs natural weights",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=("model", "task", "sparsity", "robust_accuracy", "natural_accuracy", "gap"),
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

@@ -4,48 +4,79 @@ Compares tickets drawn by OMP from three pretrained dense models:
 naturally trained, PGD adversarially trained, and trained with Gaussian
 noise augmentation (the randomized-smoothing recipe).  The paper finds
 adversarial > smoothing > natural.
+
+Declared as an :class:`~repro.experiments.spec.ExperimentSpec`; all
+three schemes' dense models are prewarmed before the fan-out, so
+workers never race to pretrain the same backbone.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.training.trainer import TrainerConfig
 
 #: The three pretraining schemes compared in Fig. 6.
 SCHEMES = ("natural", "robust", "smoothing")
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    sparsity: float,
+    mode: str,
+) -> Dict[str, object]:
+    """One grid point: a ticket per pretraining scheme, all transferred."""
+    pipeline = context.pipeline(model_name)
+    task = context.task(task_name)
+    row: Dict[str, object] = {
+        "model": model_name,
+        "task": task_name,
+        "sparsity": round(sparsity, 4),
+    }
+    config = (
+        TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
+        if mode == "finetune"
+        else None
+    )
+    for scheme in SCHEMES:
+        ticket = pipeline.draw_omp_ticket(scheme, sparsity)
+        result = pipeline.transfer(ticket, task, mode=mode, config=config)
+        row[f"{scheme}_accuracy"] = result.score
+    return row
+
+
+def _grid(
+    scale: ExperimentScale,
     model: Optional[str] = None,
     tasks: Optional[Sequence[str]] = None,
     sparsities: Optional[Sequence[float]] = None,
     mode: str = "finetune",
-) -> ResultTable:
-    """Reproduce Fig. 6: tickets from natural / adversarial / smoothing pretraining."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     model = model if model is not None else scale.models[-1]
     tasks = tuple(tasks) if tasks is not None else scale.tasks
     sparsities = tuple(sparsities) if sparsities is not None else scale.sparsity_grid
+    points = tuple(
+        (model, task_name, float(sparsity), mode)
+        for task_name in tasks
+        for sparsity in sparsities
+    )
+    return GridPlan(points=points, models=(model,), priors=SCHEMES, tasks=tasks)
 
-    table = ResultTable("Fig. 6: tickets from different pretraining schemes")
-    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
-    pipeline = context.pipeline(model)
 
-    for task_name in tasks:
-        task = context.task(task_name)
-        for sparsity in sparsities:
-            row = {"model": model, "task": task_name, "sparsity": round(sparsity, 4)}
-            for scheme in SCHEMES:
-                ticket = pipeline.draw_omp_ticket(scheme, sparsity)
-                config = finetune_config if mode == "finetune" else None
-                result = pipeline.transfer(ticket, task, mode=mode, config=config)
-                row[f"{scheme}_accuracy"] = result.score
-            table.add_row(**row)
-    return table
+SPEC = ExperimentSpec(
+    identifier="fig6",
+    title="Fig. 6: tickets from different pretraining schemes",
+    description="OMP tickets from natural / adversarial / smoothing pretraining",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=("model", "task", "sparsity", "natural_accuracy", "robust_accuracy", "smoothing_accuracy"),
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

@@ -3,47 +3,74 @@
 Robust and natural OMP tickets are attached to an FCN decoder and
 finetuned on the synthetic dense-prediction task (the PASCAL VOC
 stand-in); the score is mean IoU.
+
+Declared as an :class:`~repro.experiments.spec.ExperimentSpec`; the
+plan requests the segmentation dataset as a prewarmed artefact, so the
+parallel path builds it once before forking.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.training.trainer import TrainerConfig
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    sparsity: float,
+) -> Dict[str, object]:
+    """One grid point: both tickets finetuned on segmentation (mIoU)."""
+    pipeline = context.pipeline(model_name)
+    segmentation = context.segmentation()
+    config = TrainerConfig(epochs=scale.segmentation_epochs, learning_rate=0.02, seed=scale.seed)
+    robust = pipeline.draw_omp_ticket("robust", sparsity)
+    natural = pipeline.draw_omp_ticket("natural", sparsity)
+    robust_result = pipeline.transfer_segmentation(robust, segmentation, config=config)
+    natural_result = pipeline.transfer_segmentation(natural, segmentation, config=config)
+    return dict(
+        model=model_name,
+        sparsity=round(sparsity, 4),
+        robust_miou=robust_result.score,
+        natural_miou=natural_result.score,
+        gap=robust_result.score - natural_result.score,
+        robust_pixel_accuracy=robust_result.extra.get("pixel_accuracy"),
+        natural_pixel_accuracy=natural_result.extra.get("pixel_accuracy"),
+    )
+
+
+def _grid(
+    scale: ExperimentScale,
     model: Optional[str] = None,
     sparsities: Optional[Sequence[float]] = None,
-) -> ResultTable:
-    """Reproduce Fig. 7: robust vs natural tickets on segmentation (mIoU)."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     model = model if model is not None else scale.models[-1]
     sparsities = tuple(sparsities) if sparsities is not None else scale.sparsity_grid
+    points = tuple((model, float(sparsity)) for sparsity in sparsities)
+    return GridPlan(points=points, models=(model,), segmentation=True)
 
-    table = ResultTable("Fig. 7: OMP tickets on segmentation (mIoU)")
-    config = TrainerConfig(epochs=scale.segmentation_epochs, learning_rate=0.02, seed=scale.seed)
-    pipeline = context.pipeline(model)
-    segmentation = context.segmentation()
 
-    for sparsity in sparsities:
-        robust = pipeline.draw_omp_ticket("robust", sparsity)
-        natural = pipeline.draw_omp_ticket("natural", sparsity)
-        robust_result = pipeline.transfer_segmentation(robust, segmentation, config=config)
-        natural_result = pipeline.transfer_segmentation(natural, segmentation, config=config)
-        table.add_row(
-            model=model,
-            sparsity=round(sparsity, 4),
-            robust_miou=robust_result.score,
-            natural_miou=natural_result.score,
-            gap=robust_result.score - natural_result.score,
-            robust_pixel_accuracy=robust_result.extra.get("pixel_accuracy"),
-            natural_pixel_accuracy=natural_result.extra.get("pixel_accuracy"),
-        )
-    return table
+SPEC = ExperimentSpec(
+    identifier="fig7",
+    title="Fig. 7: OMP tickets on segmentation (mIoU)",
+    description="robust vs natural tickets transferred to dense prediction",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=(
+        "model",
+        "sparsity",
+        "robust_miou",
+        "natural_miou",
+        "gap",
+        "robust_pixel_accuracy",
+        "natural_pixel_accuracy",
+    ),
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

@@ -5,69 +5,107 @@ For each sparsity level in the paper's grid {20.00%, 59.04%, 79.08%,
 on the downstream task and evaluated on: natural accuracy, ECE, NLL,
 adversarial accuracy under PGD, corruption accuracy, and OoD ROC-AUC —
 the exact columns of Tab. I.
+
+Declared as an :class:`~repro.experiments.spec.ExperimentSpec` over
+``(model, task, sparsity, prior)`` points, one per table row, so the
+expensive property evaluations parallelise and resume independently.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.evaluate import evaluate_properties
 from repro.core.transfer import finetune_classification
-from repro.experiments.config import get_scale
-from repro.experiments.context import ExperimentContext, shared_context
-from repro.experiments.results import ResultTable
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.training.trainer import TrainerConfig
 
 #: The sparsity grid of Tab. I (fractions of pruned weights).
 TAB1_SPARSITIES = (0.2, 0.5904, 0.7908, 0.8926)
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    sparsity: float,
+    prior: str,
+) -> Dict[str, object]:
+    """One grid point: one prior's IMP ticket, finetuned and profiled."""
+    pipeline = context.pipeline(model_name)
+    task = context.task(task_name)
+    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
+    ticket = pipeline.draw_imp_ticket(
+        prior,
+        sparsity,
+        on="upstream",
+        iterations=scale.imp_iterations,
+        epochs_per_iteration=scale.imp_epochs_per_iteration,
+    )
+    transfer = finetune_classification(
+        ticket, task, config=finetune_config, seed=scale.seed, keep_model=True
+    )
+    report = evaluate_properties(
+        transfer.model, task, attack=pipeline.config.attack(), seed=scale.seed
+    )
+    return dict(
+        model=model_name,
+        ticket=prior,
+        sparsity=round(sparsity, 4),
+        accuracy=report.accuracy,
+        ece=report.ece,
+        nll=report.nll,
+        adv_accuracy=report.adversarial_accuracy,
+        corruption_accuracy=report.corruption_accuracy,
+        roc_auc=report.ood_roc_auc,
+    )
+
+
+def _grid(
+    scale: ExperimentScale,
     models: Optional[Sequence[str]] = None,
     task_name: str = "cifar10",
     sparsities: Optional[Sequence[float]] = None,
-) -> ResultTable:
-    """Reproduce Fig. 8 / Tab. I: properties of robust vs natural IMP tickets."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     models = tuple(models) if models is not None else scale.models
     if sparsities is None:
         # At smoke scale evaluating all four Tab. I sparsities is too slow;
         # keep the two extreme points which carry the trend.
-        sparsities = TAB1_SPARSITIES if scale.name == "paper" else (TAB1_SPARSITIES[0], TAB1_SPARSITIES[-1])
+        sparsities = (
+            TAB1_SPARSITIES
+            if scale.name == "paper"
+            else (TAB1_SPARSITIES[0], TAB1_SPARSITIES[-1])
+        )
+    points = tuple(
+        (model_name, task_name, float(sparsity), prior)
+        for model_name in models
+        for sparsity in sparsities
+        for prior in ("robust", "natural")
+    )
+    return GridPlan(points=points, models=models, tasks=(task_name,))
 
-    table = ResultTable("Fig. 8 / Tab. I: properties of robust vs natural IMP tickets")
-    finetune_config = TrainerConfig(epochs=scale.finetune_epochs, seed=scale.seed)
-    task = context.task(task_name)
 
-    for model_name in models:
-        pipeline = context.pipeline(model_name)
-        for sparsity in sparsities:
-            for prior, label in (("robust", "robust"), ("natural", "natural")):
-                ticket = pipeline.draw_imp_ticket(
-                    prior,
-                    sparsity,
-                    on="upstream",
-                    iterations=scale.imp_iterations,
-                    epochs_per_iteration=scale.imp_epochs_per_iteration,
-                )
-                transfer = finetune_classification(
-                    ticket, task, config=finetune_config, seed=scale.seed, keep_model=True
-                )
-                report = evaluate_properties(
-                    transfer.model, task, attack=pipeline.config.attack(), seed=scale.seed
-                )
-                table.add_row(
-                    model=model_name,
-                    ticket=label,
-                    sparsity=round(sparsity, 4),
-                    accuracy=report.accuracy,
-                    ece=report.ece,
-                    nll=report.nll,
-                    adv_accuracy=report.adversarial_accuracy,
-                    corruption_accuracy=report.corruption_accuracy,
-                    roc_auc=report.ood_roc_auc,
-                )
-    return table
+SPEC = ExperimentSpec(
+    identifier="fig8_tab1",
+    title="Fig. 8 / Tab. I: properties of robust vs natural IMP tickets",
+    description="accuracy / ECE / NLL / PGD / corruption / OoD of IMP tickets",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=(
+        "model",
+        "ticket",
+        "sparsity",
+        "accuracy",
+        "ece",
+        "nll",
+        "adv_accuracy",
+        "corruption_accuracy",
+        "roc_auc",
+    ),
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

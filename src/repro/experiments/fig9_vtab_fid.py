@@ -7,72 +7,115 @@ and the source dataset is computed (Tab. II), and the per-task winner is
 recorded.  The paper's key finding is that robust tickets win on tasks
 with a *large* FID (large domain gap) and only match or lose on tasks
 close to the source.
+
+Declared as an :class:`~repro.experiments.spec.ExperimentSpec` with one
+point per suite task; the plan prewarms the VTAB suite before forking,
+and the spec's ``finalize`` hook sorts the assembled table by
+decreasing FID, as Tab. II does.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.config import get_scale
-from repro.experiments.context import ExperimentContext, shared_context
+from repro.data.tasks import VTAB_TASK_NAMES
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentContext
 from repro.experiments.results import ResultTable
+from repro.experiments.spec import ExperimentSpec, GridPlan
 from repro.metrics.fid import RandomFeatureEmbedder, fid_between_datasets
 
 #: Accuracy margin below which a task is declared a tie ("Match" in Tab. II).
 MATCH_MARGIN = 0.01
 
 
-def run(
-    scale="smoke",
-    context: Optional[ExperimentContext] = None,
+def _suite_task(context: ExperimentContext, task_name: str):
+    for task in context.vtab():
+        if task.name == task_name:
+            return task
+    raise KeyError(f"unknown VTAB task {task_name!r}; available: {VTAB_TASK_NAMES}")
+
+
+def _evaluate_point(
+    context: ExperimentContext,
+    scale: ExperimentScale,
+    model_name: str,
+    task_name: str,
+    sparsity: float,
+    match_margin: float,
+) -> Dict[str, object]:
+    """One grid point: one suite task's winner plus its FID to the source."""
+    pipeline = context.pipeline(model_name)
+    task = _suite_task(context, task_name)
+    robust = pipeline.draw_omp_ticket("robust", sparsity)
+    natural = pipeline.draw_omp_ticket("natural", sparsity)
+    embedder = RandomFeatureEmbedder(seed=scale.seed + 13, base_width=scale.base_width)
+    fid = fid_between_datasets(
+        pipeline.source.test,
+        task.test,
+        embedder=embedder,
+        max_samples=scale.fid_samples,
+        seed=scale.seed,
+    )
+    robust_result = pipeline.transfer(robust, task, mode="linear")
+    natural_result = pipeline.transfer(natural, task, mode="linear")
+    gap = robust_result.score - natural_result.score
+    if gap > match_margin:
+        winner = "robust"
+    elif gap < -match_margin:
+        winner = "natural"
+    else:
+        winner = "match"
+    return dict(
+        task=task.name,
+        fid=fid,
+        domain_shift=task.domain_shift,
+        robust_accuracy=robust_result.score,
+        natural_accuracy=natural_result.score,
+        gap=gap,
+        winner=winner,
+    )
+
+
+def _grid(
+    scale: ExperimentScale,
     model: Optional[str] = None,
     sparsity: Optional[float] = None,
     task_names: Optional[Sequence[str]] = None,
     match_margin: float = MATCH_MARGIN,
-) -> ResultTable:
-    """Reproduce Fig. 9 / Tab. II: per-task winners vs FID-measured domain gap."""
-    scale = get_scale(scale)
-    context = context if context is not None else shared_context(scale)
+) -> GridPlan:
     model = model if model is not None else scale.models[0]
-    sparsity = sparsity if sparsity is not None else scale.sparsity_grid[-1]
-
-    pipeline = context.pipeline(model)
-    robust = pipeline.draw_omp_ticket("robust", sparsity)
-    natural = pipeline.draw_omp_ticket("natural", sparsity)
-    embedder = RandomFeatureEmbedder(seed=scale.seed + 13, base_width=scale.base_width)
-
-    suite = context.vtab()
+    sparsity = float(sparsity) if sparsity is not None else float(scale.sparsity_grid[-1])
+    names = tuple(VTAB_TASK_NAMES)
     if task_names is not None:
         wanted = {name.lower() for name in task_names}
-        suite = [task for task in suite if task.name in wanted]
+        names = tuple(name for name in names if name in wanted)
+    points = tuple((model, name, sparsity, float(match_margin)) for name in names)
+    return GridPlan(points=points, models=(model,), vtab=True)
 
-    table = ResultTable("Fig. 9 / Tab. II: VTAB-like linear evaluation vs FID")
-    for task in suite:
-        fid = fid_between_datasets(
-            pipeline.source.test,
-            task.test,
-            embedder=embedder,
-            max_samples=scale.fid_samples,
-            seed=scale.seed,
-        )
-        robust_result = pipeline.transfer(robust, task, mode="linear")
-        natural_result = pipeline.transfer(natural, task, mode="linear")
-        gap = robust_result.score - natural_result.score
-        if gap > match_margin:
-            winner = "robust"
-        elif gap < -match_margin:
-            winner = "natural"
-        else:
-            winner = "match"
-        table.add_row(
-            task=task.name,
-            fid=fid,
-            domain_shift=task.domain_shift,
-            robust_accuracy=robust_result.score,
-            natural_accuracy=natural_result.score,
-            gap=gap,
-            winner=winner,
-        )
+
+def _sort_by_fid(table: ResultTable) -> None:
     # Present tasks in decreasing FID order, as Tab. II does.
     table.rows.sort(key=lambda row: -row["fid"])
-    return table
+
+
+SPEC = ExperimentSpec(
+    identifier="fig9_tab2",
+    title="Fig. 9 / Tab. II: VTAB-like linear evaluation vs FID",
+    description="per-task robust-vs-natural winners against the FID domain gap",
+    evaluate=_evaluate_point,
+    grid=_grid,
+    columns=(
+        "task",
+        "fid",
+        "domain_shift",
+        "robust_accuracy",
+        "natural_accuracy",
+        "gap",
+        "winner",
+    ),
+    finalize=_sort_by_fid,
+)
+
+#: Callable runner (``run(scale=..., context=..., workers=..., ...)``).
+run = SPEC

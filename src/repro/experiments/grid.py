@@ -1,82 +1,131 @@
-"""Shared multi-process dispatch for experiment sweep grids.
+"""Shared dispatch for experiment sweep grids: parallel and resumable.
 
-The sweep-capable figure runners all follow the same shape: build the
-list of independent ``(model, task, sparsity)`` points, evaluate each
-point to a result row, and — when ``workers > 1`` — fan the points out
-across worker processes after prewarming the pretrained dense models.
-:func:`sweep_grid` centralises that dispatch so every runner only
-supplies its per-point evaluation function.
+Every experiment declares its grid through an
+:class:`~repro.experiments.spec.ExperimentSpec`; this module is the one
+place that evaluates such a grid.  :func:`sweep_grid`
+
+* consults the :class:`~repro.core.runstore.RunStore` (when given) and
+  loads already-completed points instead of recomputing them;
+* evaluates the missing points — serially, or fanned out across worker
+  processes after prewarming the plan's shared artefacts (pretrained
+  dense models, downstream tasks) exactly once in the parent;
+* checkpoints every fresh row to the store the moment it lands, from
+  workers and from the serial loop alike, so a killed sweep restarts
+  warm;
+* returns rows in the order of the plan's points, identical for every
+  worker count.
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.core.cache import CACHE_ENV_VAR
-from repro.core.parallel import SweepRunner, effective_workers
+from repro.core.parallel import SweepRunner, default_workers, effective_workers
+from repro.core.runstore import RunKey, RunStore, jsonify_row, normalise_point
 from repro.experiments.config import ExperimentScale
 from repro.experiments.context import (
     ExperimentContext,
     shared_context,
     shared_context_scope,
 )
+from repro.experiments.spec import GridPlan, PointEvaluator
 
-#: A point evaluator: ``(context, scale, *point) -> row dict``.  Must be
-#: a module-level function so the parallel path can pickle it by
-#: reference.
-PointEvaluator = Callable[..., Dict[str, Any]]
+_logger = logging.getLogger(__name__)
 
 
 class _GridPoint:
-    """Picklable wrapper evaluating one point inside a worker process.
+    """Picklable wrapper evaluating (and checkpointing) one grid point.
 
     Workers resolve the experiment context through
     ``shared_context(scale)``: forked workers find the parent's
     prewarmed context (installed for the sweep's duration by
     :func:`repro.experiments.context.shared_context_scope`),
     spawn-based workers rebuild it on demand backed by the disk sweep
-    cache.
+    cache.  When a run store is attached, the point's row is read from
+    it when already present (so a broken-pool serial fallback never
+    redoes finished work) and written to it the moment it is computed.
     """
 
-    def __init__(self, evaluate: PointEvaluator, scale: ExperimentScale) -> None:
+    def __init__(
+        self,
+        evaluate: PointEvaluator,
+        scale: ExperimentScale,
+        store: Optional[RunStore] = None,
+        key: Optional[RunKey] = None,
+    ) -> None:
         self.evaluate = evaluate
         self.scale = scale
+        self.store = store
+        self.key = key
 
-    def __call__(self, point: Tuple) -> Dict[str, Any]:
-        return self.evaluate(shared_context(self.scale), self.scale, *point)
+    def __call__(self, point) -> Dict[str, Any]:
+        return self.evaluate_with(shared_context(self.scale), point)
+
+    def evaluate_with(self, context: ExperimentContext, point) -> Dict[str, Any]:
+        if self.store is not None:
+            cached = self.store.get(self.key, point)
+            if cached is not None:
+                return cached
+        row = jsonify_row(self.evaluate(context, self.scale, *point))
+        if self.store is not None:
+            self.store.put(self.key, point, row)
+        return row
 
 
 def sweep_grid(
     evaluate: PointEvaluator,
-    points: Sequence[Tuple],
+    plan: GridPlan,
     context: ExperimentContext,
     scale: ExperimentScale,
-    models: Sequence[str],
-    workers: int = 1,
-    priors: Sequence[str] = ("robust", "natural"),
+    workers: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    key: Optional[RunKey] = None,
 ) -> List[Dict[str, Any]]:
-    """Evaluate every grid point, serially or across worker processes.
+    """Evaluate every point of ``plan``; rows follow the point order.
 
-    Results follow the order of ``points`` and are identical either
-    way; the parallel path registers ``context`` as the process-wide
-    shared context *for the duration of the sweep* and pretrains the
-    dense models for ``priors`` serially before forking, so no two
-    workers race to produce the same backbone.
+    Results are identical for every worker count; the parallel path
+    registers ``context`` as the process-wide shared context *for the
+    duration of the sweep* and prewarms the plan's dense models and
+    datasets serially before forking, so no two workers race to
+    produce the same artefact.  With a ``store``/``key`` pair the sweep
+    is resumable: completed points load from disk, fresh rows
+    checkpoint as they land.
     """
-    points = list(points)
-    # Spawn-based workers rebuild the experiment context from scratch,
-    # so fan-out needs the disk sweep cache there (worker contexts read
-    # it from the environment variable).
-    workers = effective_workers(
-        workers, has_disk_cache=bool(os.environ.get(CACHE_ENV_VAR))
-    )
-    if workers > 1:
-        with shared_context_scope(context):
-            context.prewarm(models, priors=priors)
-            # Build each distinct downstream task once pre-fork too, so
-            # workers inherit the datasets instead of regenerating them.
-            for task_name in dict.fromkeys(point[1] for point in points):
-                context.task(task_name)
-            return SweepRunner(workers).map(_GridPoint(evaluate, scale), points)
-    return [evaluate(context, scale, *point) for point in points]
+    points = [normalise_point(point) for point in plan.points]
+    completed = store.load(key) if store is not None else {}
+    distinct = list(dict.fromkeys(points))
+    missing = [point for point in distinct if point not in completed]
+    if store is not None and completed:
+        _logger.info(
+            "run store: %d of %d distinct points already complete",
+            len(distinct) - len(missing),
+            len(distinct),
+        )
+
+    rows: Dict[Any, Dict[str, Any]] = dict(completed)
+    if missing:
+        workers = int(workers) if workers is not None else default_workers()
+        # Spawn-based workers rebuild the experiment context from
+        # scratch, so fan-out needs the disk sweep cache there (worker
+        # contexts read it from the environment variable).
+        workers = effective_workers(
+            workers, has_disk_cache=bool(os.environ.get(CACHE_ENV_VAR))
+        )
+        runner = _GridPoint(evaluate, scale, store=store, key=key)
+        if workers > 1 and len(missing) > 1:
+            with shared_context_scope(context):
+                context.prewarm(
+                    plan.models,
+                    priors=plan.priors,
+                    tasks=plan.tasks,
+                    segmentation=plan.segmentation,
+                    vtab=plan.vtab,
+                )
+                results = SweepRunner(workers).map(runner, missing)
+        else:
+            results = [runner.evaluate_with(context, point) for point in missing]
+        rows.update(zip(missing, results))
+    return [dict(rows[point]) for point in points]

@@ -1,9 +1,16 @@
-"""Registry mapping experiment identifiers to their runners."""
+"""Registry mapping experiment identifiers to their declarative specs.
+
+Every entry is an :class:`~repro.experiments.spec.ExperimentSpec` —
+grid builder, point evaluator, row schema — rather than a bare
+callable, so callers can introspect an experiment (grid size at a
+scale, columns, description) without running it.  All specs share one
+driver, so *every* experiment accepts ``workers`` and a run ``store``;
+the old ``inspect.signature``-based capability probing is gone.
+"""
 
 from __future__ import annotations
 
-import inspect
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments import (
     fig1_omp_finetune,
@@ -17,27 +24,31 @@ from repro.experiments import (
     fig9_vtab_fid,
 )
 from repro.experiments.ablations import (
-    granularity_gap_ablation,
-    mask_overlap_analysis,
-    perturbation_strength_ablation,
+    GRANULARITY_GAP_SPEC,
+    MASK_OVERLAP_SPEC,
+    PERTURBATION_STRENGTH_SPEC,
 )
 from repro.experiments.results import ResultTable
+from repro.experiments.spec import ExperimentSpec
 
-#: Experiment id -> runner.  Every entry corresponds to a figure/table of
+#: Experiment id -> spec.  Every entry corresponds to a figure/table of
 #: the paper (or a documented ablation) and to one benchmark file.
-EXPERIMENTS: Dict[str, Callable[..., ResultTable]] = {
-    "fig1": fig1_omp_finetune.run,
-    "fig2": fig2_omp_linear.run,
-    "fig3": fig3_structured.run,
-    "fig4": fig4_imp.run,
-    "fig5": fig5_lmp.run,
-    "fig6": fig6_pretraining_schemes.run,
-    "fig7": fig7_segmentation.run,
-    "fig8_tab1": fig8_properties.run,
-    "fig9_tab2": fig9_vtab_fid.run,
-    "ablation_epsilon": perturbation_strength_ablation,
-    "ablation_granularity": granularity_gap_ablation,
-    "ablation_mask_overlap": mask_overlap_analysis,
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.identifier: spec
+    for spec in (
+        fig1_omp_finetune.SPEC,
+        fig2_omp_linear.SPEC,
+        fig3_structured.SPEC,
+        fig4_imp.SPEC,
+        fig5_lmp.SPEC,
+        fig6_pretraining_schemes.SPEC,
+        fig7_segmentation.SPEC,
+        fig8_properties.SPEC,
+        fig9_vtab_fid.SPEC,
+        PERTURBATION_STRENGTH_SPEC,
+        GRANULARITY_GAP_SPEC,
+        MASK_OVERLAP_SPEC,
+    )
 }
 
 
@@ -46,25 +57,39 @@ def available_experiments() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
-def supports_workers(identifier: str) -> bool:
-    """Whether the experiment's runner accepts a ``workers`` argument."""
+def get_spec(identifier: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` registered under ``identifier``."""
     if identifier not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {identifier!r}; available: {available_experiments()}")
-    return "workers" in inspect.signature(EXPERIMENTS[identifier]).parameters
+        raise KeyError(
+            f"unknown experiment {identifier!r}; available: {available_experiments()}"
+        )
+    return EXPERIMENTS[identifier]
+
+
+def supports_workers(identifier: str) -> bool:
+    """Deprecated: every registered experiment supports ``workers`` now.
+
+    Kept (always ``True`` for known ids) so older callers keep working;
+    unknown identifiers still raise ``KeyError``.
+    """
+    get_spec(identifier)
+    return True
 
 
 def run_experiment(
-    identifier: str, scale="smoke", workers: Optional[int] = None, **kwargs
+    identifier: str,
+    scale="smoke",
+    workers: Optional[int] = None,
+    store=None,
+    **kwargs,
 ) -> ResultTable:
     """Run a registered experiment by identifier.
 
-    ``workers`` is forwarded to runners whose grids support
-    multi-process sweeping (see :func:`supports_workers`); for the
-    remaining runners it is ignored and the experiment runs serially,
-    which is always correct.
+    ``workers`` fans the experiment's grid points out across worker
+    processes (``None`` reads ``REPRO_SWEEP_WORKERS``, default serial);
+    ``store`` — a :class:`~repro.core.runstore.RunStore` or a path —
+    makes the sweep resumable and checkpoints each row as it lands.
+    Remaining keyword arguments override the spec's grid (e.g.
+    ``sparsities=...``) or supply the shared ``context``.
     """
-    if identifier not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {identifier!r}; available: {available_experiments()}")
-    if workers is not None and "workers" in inspect.signature(EXPERIMENTS[identifier]).parameters:
-        kwargs.setdefault("workers", workers)
-    return EXPERIMENTS[identifier](scale=scale, **kwargs)
+    return get_spec(identifier)(scale=scale, workers=workers, store=store, **kwargs)

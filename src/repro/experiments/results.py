@@ -8,6 +8,8 @@ between the robust and natural arms of an experiment.
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 
@@ -17,6 +19,17 @@ class ResultTable:
     def __init__(self, title: str, rows: Optional[Iterable[Dict[str, Any]]] = None) -> None:
         self.title = title
         self.rows: List[Dict[str, Any]] = [dict(row) for row in rows] if rows else []
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Dict[str, Any]], title: str = "results"
+    ) -> "ResultTable":
+        """Build a table from plain record dicts (rows are copied).
+
+        Round-trips with :meth:`as_records`, and re-hydrates the rows of
+        a run-store artifact (see :func:`repro.core.runstore.load_artifact`).
+        """
+        return cls(title, records)
 
     def add_row(self, **values: Any) -> None:
         self.rows.append(values)
@@ -99,12 +112,19 @@ class ResultTable:
         return f"== {self.title} ==\n{header}\n{separator}\n{body}"
 
     def to_csv(self) -> str:
-        """Comma-separated rendering (header + rows)."""
+        """Comma-separated rendering (header + rows), without trailing newline.
+
+        Values containing commas, quotes, or newlines are quoted/escaped
+        per RFC 4180 (via the :mod:`csv` module), so the output always
+        parses back into the same cells.
+        """
         columns = self.columns()
-        lines = [",".join(columns)]
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
         for row in self.rows:
-            lines.append(",".join(str(row.get(column, "")) for column in columns))
-        return "\n".join(lines)
+            writer.writerow([row.get(column, "") for column in columns])
+        return buffer.getvalue().rstrip("\n")
 
     def as_records(self) -> List[Dict[str, Any]]:
         return [dict(row) for row in self.rows]

@@ -1,0 +1,115 @@
+"""Declarative experiment specifications.
+
+Every figure/table runner used to open-code its own sweep loop; now
+each one *declares* its experiment instead:
+
+* a :class:`GridPlan` builder — the list of independent grid points
+  plus the shared artefacts (models, priors, tasks) the points need;
+* a module-level point evaluator ``(context, scale, *point) -> row``;
+* its row schema and display title.
+
+The generic driver (:meth:`ExperimentSpec.run`) does everything else
+the old hand-rolled loops did, uniformly: resolve the scale and shared
+context, consult the :class:`~repro.core.runstore.RunStore` for already
+completed points, fan the missing ones out across worker processes via
+:func:`repro.experiments.grid.sweep_grid`, checkpoint each row as it
+lands, and assemble the :class:`ResultTable`.  Because the evaluator
+receives everything that varies through the point tuple, every
+experiment is parallel, resumable, and artifact-producing by
+construction — there is no longer such a thing as a serial-only runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.runstore import resolve_store, run_key
+from repro.experiments.config import get_scale
+from repro.experiments.context import shared_context
+from repro.experiments.results import ResultTable
+
+#: A point evaluator: ``(context, scale, *point) -> row dict``.  Must be
+#: a module-level function so the parallel path can pickle it by
+#: reference.
+PointEvaluator = Callable[..., Dict[str, Any]]
+
+
+@dataclasses.dataclass(frozen=True)
+class GridPlan:
+    """One concrete sweep: the points plus the shared artefacts they need.
+
+    ``points`` are tuples of plain values (strings, floats, ints); a
+    point is both the evaluator's argument list and the run store's
+    key, so everything that varies between rows must live in it.  The
+    remaining fields tell the dispatcher what to prewarm *before*
+    forking workers so no two workers race to build the same backbone
+    or dataset.
+    """
+
+    points: Tuple[Tuple, ...]
+    models: Tuple[str, ...] = ()
+    priors: Tuple[str, ...] = ("robust", "natural")
+    tasks: Tuple[str, ...] = ()
+    segmentation: bool = False
+    vtab: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one experiment (figure, table, ablation).
+
+    Instances are callable with the exact signature the old ``run``
+    functions had (``spec(scale=..., context=..., workers=..., **grid
+    overrides)``), so registry entries, benchmarks, and user code call
+    them like plain runners.
+    """
+
+    identifier: str
+    title: str
+    evaluate: PointEvaluator
+    grid: Callable[..., GridPlan]
+    columns: Tuple[str, ...]
+    description: str = ""
+    #: Optional in-place post-processing of the assembled table
+    #: (e.g. Fig. 9 sorts its rows by decreasing FID).
+    finalize: Optional[Callable[[ResultTable], None]] = None
+
+    def plan(self, scale="smoke", **overrides) -> GridPlan:
+        """The concrete :class:`GridPlan` at ``scale`` (with overrides)."""
+        return self.grid(get_scale(scale), **overrides)
+
+    def run(
+        self,
+        scale="smoke",
+        context=None,
+        workers: Optional[int] = None,
+        store=None,
+        **overrides,
+    ) -> ResultTable:
+        """Evaluate the grid and return the experiment's result table.
+
+        ``workers=None`` reads ``REPRO_SWEEP_WORKERS`` (default 1);
+        ``store`` (a :class:`~repro.core.runstore.RunStore` or a path)
+        makes the sweep resumable: completed points load instead of
+        recomputing, fresh rows checkpoint as they land.
+        """
+        from repro.experiments.grid import sweep_grid
+
+        scale = get_scale(scale)
+        context = context if context is not None else shared_context(scale)
+        plan = self.grid(scale, **overrides)
+        store = resolve_store(store)
+        key = None
+        if store is not None:
+            key = run_key(self.identifier, scale)
+            store.write_manifest(key, scale=scale)
+        rows = sweep_grid(
+            self.evaluate, plan, context, scale, workers=workers, store=store, key=key
+        )
+        table = ResultTable(self.title, rows)
+        if self.finalize is not None:
+            self.finalize(table)
+        return table
+
+    __call__ = run

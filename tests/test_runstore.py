@@ -1,0 +1,163 @@
+"""Tests for the resumable run store (:mod:`repro.core.runstore`)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.runstore import (
+    ARTIFACT_FORMAT,
+    RunStore,
+    jsonify,
+    jsonify_row,
+    load_artifact,
+    normalise_point,
+    point_id,
+    run_key,
+    write_artifact,
+)
+from repro.experiments.config import PAPER, SMOKE
+from repro.experiments.results import ResultTable
+
+
+class TestJsonify:
+    def test_numpy_scalars_become_python(self):
+        row = jsonify_row({"a": np.float64(0.25), "b": np.int32(3), "c": "x", "d": None})
+        assert row == {"a": 0.25, "b": 3, "c": "x", "d": None}
+        assert type(row["a"]) is float and type(row["b"]) is int
+
+    def test_floats_survive_json_roundtrip_exactly(self):
+        value = 0.1 + 0.2  # not representable as a short decimal
+        assert json.loads(json.dumps(jsonify(value))) == value
+
+    def test_normalise_point_is_hashable_and_stable(self):
+        point = normalise_point(("resnet18", "cifar10", np.float64(0.9)))
+        assert point == ("resnet18", "cifar10", 0.9)
+        assert hash(point) == hash(("resnet18", "cifar10", 0.9))
+
+
+class TestRunKey:
+    def test_same_scale_same_key(self):
+        assert run_key("fig1", SMOKE) == run_key("fig1", SMOKE)
+
+    def test_key_separates_experiments_and_scales(self):
+        assert run_key("fig1", SMOKE) != run_key("fig2", SMOKE)
+        assert run_key("fig1", SMOKE).config_hash != run_key("fig1", PAPER).config_hash
+
+    def test_point_id_distinguishes_points(self):
+        assert point_id(("a", 0.5)) != point_id(("a", 0.6))
+        assert point_id(("a", 0.5)) == point_id(("a", 0.5))
+
+
+class TestRunStore:
+    def test_put_get_load_roundtrip(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        key = run_key("fig1", SMOKE)
+        point = ("resnet18", "cifar10", 0.9)
+        row = {"model": "resnet18", "sparsity": 0.9, "gap": 0.0125}
+        store.put(key, point, row)
+        assert store.get(key, point) == row
+        assert store.get(key, ("resnet18", "cifar10", 0.5)) is None
+        assert store.load(key) == {point: row}
+        # Key order is the table's column order and must survive the disk trip.
+        assert list(store.get(key, point)) == ["model", "sparsity", "gap"]
+
+    def test_load_missing_directory_is_empty(self, tmp_path):
+        store = RunStore(str(tmp_path / "nowhere"))
+        assert store.load(run_key("fig1", SMOKE)) == {}
+
+    def test_corrupt_point_file_reads_as_miss(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        key = run_key("fig1", SMOKE)
+        point = ("resnet18", 0.5)
+        path = store.put(key, point, {"x": 1})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"truncated": ')
+        assert store.get(key, point) is None
+        assert store.load(key) == {}
+
+    def test_last_writer_wins(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        key = run_key("fig1", SMOKE)
+        store.put(key, ("p",), {"v": 1})
+        store.put(key, ("p",), {"v": 2})
+        assert store.load(key) == {("p",): {"v": 2}}
+        # No staging temp files left behind.
+        leftovers = [
+            name
+            for name in os.listdir(store.directory(key))
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_manifest_records_run_identity(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        key = run_key("fig5", SMOKE)
+        store.write_manifest(key, scale=SMOKE)
+        with open(os.path.join(store.directory(key), "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["experiment"] == "fig5"
+        assert manifest["scale"] == "smoke"
+        assert manifest["config_hash"] == key.config_hash
+        assert manifest["scale_config"]["base_width"] == SMOKE.base_width
+
+
+class TestArtifacts:
+    def make_table(self):
+        return ResultTable(
+            "demo",
+            [
+                {"model": "a", "sparsity": 0.5, "gap": np.float64(0.01)},
+                {"model": "b", "sparsity": 0.9, "gap": -0.02},
+            ],
+        )
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        table = self.make_table()
+        key = run_key("fig1", SMOKE)
+        path = write_artifact(str(tmp_path / "run.json"), table, key=key)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["format"] == ARTIFACT_FORMAT
+        assert payload["experiment"] == "fig1"
+        assert payload["config_hash"] == key.config_hash
+        assert payload["columns"] == ["model", "sparsity", "gap"]
+
+        loaded = load_artifact(path)
+        assert loaded.title == table.title
+        assert loaded.as_records() == [
+            {"model": "a", "sparsity": 0.5, "gap": 0.01},
+            {"model": "b", "sparsity": 0.9, "gap": -0.02},
+        ]
+
+    def test_load_rejects_non_artifact(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"rows": []}')
+        with pytest.raises(ValueError):
+            load_artifact(str(path))
+
+
+class TestResultTableRoundTrip:
+    def test_from_records_copies_and_roundtrips(self):
+        table = ResultTable("demo", [{"a": 1, "b": "x"}])
+        rebuilt = ResultTable.from_records(table.as_records(), title=table.title)
+        assert rebuilt.as_records() == table.as_records()
+        rebuilt.rows[0]["a"] = 99
+        assert table.rows[0]["a"] == 1
+
+    def test_to_csv_escapes_commas_quotes_newlines(self):
+        import csv as csv_module
+        import io
+
+        table = ResultTable("demo")
+        table.add_row(name='say "hi", twice', note="line1\nline2", value=1.5)
+        rendered = table.to_csv()
+        parsed = list(csv_module.reader(io.StringIO(rendered)))
+        assert parsed[0] == ["name", "note", "value"]
+        assert parsed[1] == ['say "hi", twice', "line1\nline2", "1.5"]
+
+    def test_to_csv_plain_values_unchanged(self):
+        table = ResultTable("demo")
+        table.add_row(model="a", sparsity=0.5)
+        assert table.to_csv() == "model,sparsity\na,0.5"
