@@ -29,14 +29,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import uuid
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.tickets import Ticket
 from repro.training.pretrain import PretrainResult
-from repro.utils.checkpoint import load_state_dict, save_state_dict
+from repro.utils.checkpoint import load_state_dict, save_state_dict, staging_path
 
 #: Environment variable the benchmark harness reads the cache root from.
 #: Set it to an empty string to disable caching entirely.
@@ -59,18 +58,9 @@ def config_hash(payload: Dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
-def staging_path(path: str) -> str:
-    """A per-writer unique temp path next to ``path`` for atomic writes.
-
-    Multi-process sweeps can store the same entry concurrently (e.g.
-    two workers missing on an identical artefact); a fixed ``.tmp``
-    name would let one writer's ``os.replace`` consume or tear the
-    other's half-written file, so every writer stages under its own
-    pid+uuid name and the last atomic rename wins.  Shared by
-    :class:`SweepCache` and :class:`repro.core.runstore.RunStore`.
-    """
-    base, _ = os.path.splitext(path)
-    return f"{base}.{os.getpid()}-{uuid.uuid4().hex}.tmp"
+# ``staging_path`` is re-exported above: the implementation lives in
+# :mod:`repro.utils.checkpoint` so ``save_state_dict`` itself can stage
+# atomically without importing this (higher-level) module.
 
 
 class SweepCache:
@@ -82,15 +72,11 @@ class SweepCache:
     def _path(self, kind: str, key: str) -> str:
         return os.path.join(self.root, f"{kind}-{key}.npz")
 
-    def _staging_path(self, path: str) -> str:
-        """A per-writer unique temp path next to ``path`` (see :func:`staging_path`)."""
-        return staging_path(path)
-
     def _store(self, kind: str, key: str, payload: Dict[str, np.ndarray]) -> str:
-        path = self._path(kind, key)
-        temporary = save_state_dict(payload, self._staging_path(path))
-        os.replace(temporary, path)
-        return path
+        # ``save_state_dict`` stages and renames internally (see
+        # :func:`repro.utils.checkpoint.staging_path`), so a store is
+        # atomic without any extra bookkeeping here.
+        return save_state_dict(payload, self._path(kind, key))
 
     def _load(self, kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
         path = self._path(kind, key)
@@ -153,11 +139,8 @@ class SweepCache:
     # Drawn tickets
     # ------------------------------------------------------------------
     def store_ticket(self, key: str, ticket: Ticket) -> str:
-        """Persist a drawn :class:`Ticket` under ``key``."""
-        path = self._path("ticket", key)
-        temporary = ticket.save(self._staging_path(path))
-        os.replace(temporary, path)
-        return path
+        """Persist a drawn :class:`Ticket` under ``key`` (atomic via ``Ticket.save``)."""
+        return ticket.save(self._path("ticket", key))
 
     def load_ticket(self, key: str) -> Optional[Ticket]:
         """Fetch a cached :class:`Ticket`, or ``None`` on a miss."""

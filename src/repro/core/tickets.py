@@ -17,7 +17,7 @@ import numpy as np
 from repro.models.registry import build_model
 from repro.models.resnet import ResNet
 from repro.pruning.mask import PruningMask
-from repro.utils.checkpoint import load_state_dict, save_state_dict
+from repro.utils.checkpoint import load_state_dict, save_state_dict, verify_dtypes
 
 
 @dataclass
@@ -95,8 +95,19 @@ class Ticket:
 
         Weights and mask arrays are stored under ``weight./`` and ``mask./``
         prefixes; scalar fields travel in a JSON header entry, so a single
-        file is enough to reconstruct the ticket elsewhere.
+        file is enough to reconstruct the ticket elsewhere.  The header
+        also records the exact dtype of every stored array, and
+        :meth:`load` verifies them, so a ticket saved from a ``float32``
+        engine can never silently come back in a different precision.
+        The write is atomic (see
+        :func:`repro.utils.checkpoint.save_state_dict`): a killed
+        process cannot leave a truncated ticket at ``path``.
         """
+        payload: Dict[str, np.ndarray] = {}
+        for name, value in self.backbone_state.items():
+            payload[f"weight./{name}"] = value
+        for name, value in self.mask.as_dict().items():
+            payload[f"mask./{name}"] = value
         header = {
             "scheme": self.scheme,
             "prior": self.prior,
@@ -105,14 +116,11 @@ class Ticket:
             "sparsity": self.sparsity,
             "granularity": self.granularity,
             "metadata": self.metadata,
+            "dtypes": {name: str(np.asarray(value).dtype) for name, value in payload.items()},
         }
-        payload: Dict[str, np.ndarray] = {
-            "__ticket_header__": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
-        }
-        for name, value in self.backbone_state.items():
-            payload[f"weight./{name}"] = value
-        for name, value in self.mask.as_dict().items():
-            payload[f"mask./{name}"] = value
+        payload["__ticket_header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
         return save_state_dict(payload, path)
 
     @classmethod
@@ -122,6 +130,10 @@ class Ticket:
         if "__ticket_header__" not in payload:
             raise ValueError(f"{path!r} does not contain a serialised Ticket")
         header = json.loads(payload["__ticket_header__"].tobytes().decode("utf-8"))
+        # Tickets written since the header gained ``dtypes`` carry the
+        # exact dtype of every array; verify the archive round-tripped
+        # them so precision changes can never slip through silently.
+        verify_dtypes(header.get("dtypes", {}), payload, path)
         backbone_state = {
             name[len("weight./") :]: value
             for name, value in payload.items()

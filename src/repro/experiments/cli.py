@@ -15,6 +15,11 @@ points are evaluated) and export the finished table as a versioned JSON
 artifact::
 
     python -m repro.experiments fig4 --resume --output fig4_run.json
+
+Seal the best grid point of a sweep as a servable model artifact::
+
+    python -m repro.experiments fig2 --export-model winner.npz
+    python -m repro.serve --artifact winner.npz
 """
 
 from __future__ import annotations
@@ -92,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the finished table as a versioned JSON run artifact",
     )
+    parser.add_argument(
+        "--export-model",
+        metavar="PATH",
+        help=(
+            "seal the best grid point of the finished sweep as a servable "
+            "repro-model/v1 artifact (winning ticket + trained linear head; "
+            "serve it with `python -m repro.serve --artifact PATH`)"
+        ),
+    )
     return parser
 
 
@@ -129,6 +143,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"unknown experiment {args.experiment!r}; use --list to see the available identifiers"
         )
 
+    if args.export_model:
+        # Fail before the sweep, not after: sealability is a property of
+        # the experiment's declared row schema.
+        from repro.serve.export import sealable_columns_missing
+
+        missing = sealable_columns_missing(get_spec(args.experiment).columns)
+        if missing:
+            parser.error(
+                f"experiment {args.experiment!r} cannot be sealed with --export-model: "
+                f"its row schema lacks {missing} (supported: sweeps over "
+                "(model, task, sparsity) grids such as fig1/fig2/fig3)"
+            )
+
     store = None
     if args.resume is not None:
         root = args.resume or os.environ.get(RUN_STORE_ENV_VAR) or default_run_root()
@@ -148,6 +175,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.output, table, key=run_key(args.experiment, get_scale(args.scale))
         )
         print(f"\nwrote run artifact ({len(table)} rows) to {path}")
+    if args.export_model:
+        # Imported lazily: serving is optional for plain sweep runs.
+        from repro.experiments.context import shared_context
+        from repro.serve.export import export_best
+
+        scale = get_scale(args.scale)
+        try:
+            path = export_best(
+                table,
+                args.experiment,
+                scale,
+                shared_context(scale),
+                args.export_model,
+                key=run_key(args.experiment, scale),
+            )
+        except ValueError as error:
+            parser.error(str(error))
+        print(f"\nsealed model artifact (repro-model/v1) to {path}")
     return 0
 
 

@@ -1,0 +1,56 @@
+"""Model serving: sealed artifacts answering batched prediction traffic.
+
+The deployment end of the compression pipeline:
+
+1. **Seal** — :func:`export_artifact` packages a fused, mask-applied
+   model (plus preprocessing spec and provenance) as one atomic
+   ``repro-model/v1`` bundle; ``python -m repro.experiments <id>
+   --export-model PATH`` does it for the best point of a finished sweep.
+2. **Serve** — :class:`ServingEngine` loads an artifact and answers
+   ``predict`` calls through a dynamic micro-batching scheduler;
+   :class:`ModelStore` keeps an LRU set of engines resident.
+3. **Speak** — ``python -m repro.serve --artifact PATH`` exposes
+   ``/predict``, ``/healthz`` and ``/models`` over stdlib HTTP;
+   :class:`InProcessClient` / :class:`HTTPClient` are the matching
+   client halves.
+
+Predictions are byte-identical to
+:func:`repro.training.evaluation.predict_logits` on the source model:
+the artifact seals the already-folded evaluation graph and the engine
+replays its exact forward path under the sealed compute dtype.
+"""
+
+from repro.serve.artifact import (
+    MODEL_ARTIFACT_FORMAT,
+    ModelArtifact,
+    default_preprocessing,
+    export_artifact,
+    load_artifact,
+)
+from repro.serve.batching import BatchingConfig, BatchStats, MicroBatcher
+from repro.serve.client import HTTPClient, InProcessClient, ServingError
+from repro.serve.engine import EngineConfig, ServingEngine
+from repro.serve.export import best_point, export_best
+from repro.serve.http import ServingHTTPServer, create_server
+from repro.serve.store import ModelStore
+
+__all__ = [
+    "MODEL_ARTIFACT_FORMAT",
+    "ModelArtifact",
+    "default_preprocessing",
+    "export_artifact",
+    "load_artifact",
+    "BatchingConfig",
+    "BatchStats",
+    "MicroBatcher",
+    "HTTPClient",
+    "InProcessClient",
+    "ServingError",
+    "EngineConfig",
+    "ServingEngine",
+    "best_point",
+    "export_best",
+    "ServingHTTPServer",
+    "create_server",
+    "ModelStore",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — serve sealed model artifacts over HTTP."""
+
+import sys
+
+from repro.serve.http import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""Dynamic micro-batching: queue, coalesce, run once, fan back out.
+
+Serving traffic arrives as many small, independent requests, but the
+numpy inference path is dramatically more efficient per sample on large
+batches (one im2col GEMM instead of N tiny ones).  :class:`MicroBatcher`
+closes that gap: caller threads submit request tensors and block; a
+single scheduler thread pulls requests off the queue, coalesces them
+until the window holds ``max_batch`` rows or ``max_wait_ms`` has passed
+since the first request, runs the whole window through the batch
+function **once**, and distributes the result slices back to the
+waiting callers.
+
+Scheduling rules:
+
+* a lone request never waits longer than ``max_wait_ms`` — under light
+  traffic latency is bounded by the wait budget, not by batch filling;
+* requests are never split: one larger than ``max_batch`` closes its
+  window immediately and runs alone (the batch function chunks
+  internally);
+* empty requests (zero rows) flow through like any other and receive
+  the zero-length slice of the result, preserving the engine's
+  empty-input contract;
+* an exception from the batch function is delivered to every caller in
+  the window, and the scheduler keeps serving subsequent windows.
+
+Only the scheduler thread touches the model, so the forward pass needs
+no locking no matter how many client threads submit concurrently.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["BatchingConfig", "BatchStats", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Coalescing policy of a :class:`MicroBatcher`.
+
+    ``max_batch`` caps the rows in one window; ``max_wait_ms`` bounds
+    how long the first request of a window waits for company.  With
+    ``max_batch=1`` (or ``max_wait_ms=0`` under serial traffic) the
+    batcher degrades to one-request-at-a-time processing, which is the
+    baseline the serving benchmark compares against.
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+
+
+@dataclass
+class BatchStats:
+    """Counters the scheduler maintains (snapshot via :meth:`as_dict`)."""
+
+    requests: int = 0
+    rows: int = 0
+    batches: int = 0
+    coalesced_requests_max: int = 0
+    batch_rows_max: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        mean = self.rows / self.batches if self.batches else 0.0
+        return {
+            "requests": self.requests,
+            "rows": self.rows,
+            "batches": self.batches,
+            "coalesced_requests_max": self.coalesced_requests_max,
+            "batch_rows_max": self.batch_rows_max,
+            "batch_rows_mean": round(mean, 3),
+            "errors": self.errors,
+        }
+
+
+class _Pending:
+    """One in-flight request: its rows plus the caller's completion gate."""
+
+    __slots__ = ("inputs", "rows", "done", "result", "error")
+
+    def __init__(self, inputs: np.ndarray) -> None:
+        self.inputs = inputs
+        self.rows = int(inputs.shape[0])
+        self.done = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into single batch-function calls.
+
+    ``batch_fn`` receives one array of stacked request rows and must
+    return an array whose leading dimension matches it (zero-length
+    input included).  It always runs on the scheduler thread.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[np.ndarray], np.ndarray],
+        config: Optional[BatchingConfig] = None,
+    ) -> None:
+        self._batch_fn = batch_fn
+        self.config = config if config is not None else BatchingConfig()
+        self._queue: "queue.SimpleQueue[Optional[_Pending]]" = queue.SimpleQueue()
+        self._stats = BatchStats()
+        self._stats_lock = threading.Lock()
+        # Makes enqueueing and the shutdown sentinel mutually exclusive:
+        # no request can slip into the queue *behind* the sentinel and
+        # hang its caller forever.
+        self._submit_lock = threading.Lock()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, inputs: np.ndarray) -> np.ndarray:
+        """Enqueue ``inputs`` and block until its results are ready."""
+        pending = _Pending(np.asarray(inputs))
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self._queue.put(pending)
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    def stats(self) -> Dict[str, float]:
+        """A snapshot of the scheduler's counters."""
+        with self._stats_lock:
+            return self._stats.as_dict()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the scheduler thread; queued requests are still served.
+
+        The queue is FIFO and the shutdown sentinel goes in behind the
+        last accepted request (``_submit_lock``), so everything enqueued
+        before ``close`` is flushed before the scheduler exits.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Scheduler side
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is None:
+                return
+            window = [head]
+            rows = head.rows
+            deadline = time.monotonic() + self.config.max_wait_ms / 1000.0
+            shutdown = False
+            while rows < self.config.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is None:
+                    shutdown = True
+                    break
+                window.append(item)
+                rows += item.rows
+            self._flush(window, rows)
+            if shutdown:
+                return
+
+    def _flush(self, window: List[_Pending], rows: int) -> None:
+        failed = False
+        try:
+            if len(window) == 1:
+                # Fast path — also guarantees a lone request's result is
+                # exactly ``batch_fn(inputs)``, with no concatenate/slice
+                # round-trip in between.
+                window[0].result = self._batch_fn(window[0].inputs)
+            else:
+                batch = np.concatenate([pending.inputs for pending in window], axis=0)
+                results = self._batch_fn(batch)
+                offset = 0
+                for pending in window:
+                    pending.result = results[offset : offset + pending.rows]
+                    offset += pending.rows
+        except BaseException as error:  # noqa: BLE001 - delivered to callers
+            failed = True
+            for pending in window:
+                pending.error = error
+        # Counters land *before* any caller wakes: a ``stats()`` read
+        # right after ``submit`` returns always includes the window
+        # that served the request.
+        with self._stats_lock:
+            self._stats.requests += len(window)
+            self._stats.rows += rows
+            self._stats.batches += 1
+            self._stats.coalesced_requests_max = max(
+                self._stats.coalesced_requests_max, len(window)
+            )
+            self._stats.batch_rows_max = max(self._stats.batch_rows_max, rows)
+            if failed:
+                self._stats.errors += 1
+        for pending in window:
+            pending.done.set()

@@ -1,0 +1,95 @@
+"""Serving clients: in-process (benchmarks, tests) and HTTP (stdlib).
+
+:class:`InProcessClient` talks straight to a :class:`ServingEngine`
+without any transport — it is what the load-generator benchmark drives
+from many threads, so the measured speedup isolates the batching
+scheduler from HTTP overhead.  :class:`HTTPClient` speaks the JSON
+protocol of :mod:`repro.serve.http` over ``urllib`` so smoke tests and
+scripts need no third-party HTTP library.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.serve.engine import ServingEngine
+
+__all__ = ["HTTPClient", "InProcessClient", "ServingError"]
+
+
+class ServingError(RuntimeError):
+    """A server-side error reported to a client (HTTP 4xx/5xx payload)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class InProcessClient:
+    """Blocking client bound to one engine in the same process.
+
+    Safe to share across threads: each ``predict`` submits to the
+    engine's micro-batcher and blocks the calling thread only.
+    """
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self.engine = engine
+
+    def predict(self, inputs) -> np.ndarray:
+        return self.engine.predict(inputs)
+
+    def stats(self) -> Dict[str, object]:
+        return self.engine.stats()
+
+
+class HTTPClient:
+    """Minimal stdlib client for the ``repro.serve`` HTTP frontend."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", str(error))
+            except (ValueError, OSError):
+                message = str(error)
+            raise ServingError(error.code, message) from error
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def models(self) -> dict:
+        return self._request("/models")
+
+    def predict(self, inputs, model: Optional[str] = None) -> np.ndarray:
+        """POST ``/predict`` and return logits in the server's dtype.
+
+        The response carries the artifact's compute dtype, so casting
+        the JSON floats back yields arrays byte-identical to what the
+        engine computed.
+        """
+        payload: dict = {"inputs": np.asarray(inputs).tolist()}
+        if model is not None:
+            payload["model"] = model
+        response = self._request("/predict", payload)
+        logits = np.asarray(response["logits"], dtype=response["dtype"])
+        # ``tolist`` flattens a zero-row result to ``[]``; the declared
+        # shape restores the class dimension of the empty-input contract.
+        return logits.reshape(response["shape"])

@@ -1,0 +1,144 @@
+""":class:`ServingEngine`: a loaded artifact answering prediction traffic.
+
+The engine owns one sealed :class:`~repro.serve.artifact.ModelArtifact`
+and a :class:`~repro.serve.batching.MicroBatcher`.  Caller threads (the
+HTTP frontend, the in-process client, benchmark load generators) call
+:meth:`predict`; requests queue, coalesce into micro-batches, and run
+through the fused evaluation graph on the single scheduler thread.
+
+The forward path **is** :func:`repro.training.evaluation.predict_logits`
+(called with ``fused=False`` — the sealed graph is already folded):
+the coalesced batch is chunked at ``eval_batch_size`` (the same
+default, 64), each chunk runs under ``no_grad``, and a zero-row batch
+still produces logits with the full class dimension.  It runs inside a
+**thread-local** dtype scope pinned to the artifact's compute
+precision, so a single-request prediction is **byte-identical** to
+``predict_logits`` on the source model in the exporting process —
+serving never changes the numbers, no matter the host process's engine
+default — and engines sealed under different dtypes serve concurrently
+without interfering.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.serve.artifact import ModelArtifact, load_artifact
+from repro.serve.batching import BatchingConfig, MicroBatcher
+from repro.tensor.dtypes import default_dtype_scope
+from repro.training.evaluation import predict_logits
+
+__all__ = ["EngineConfig", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Scheduling and forward-pass knobs of a :class:`ServingEngine`."""
+
+    #: Rows one micro-batch may coalesce before it runs.
+    max_batch: int = 64
+    #: How long the first request of a window waits for company.
+    max_wait_ms: float = 2.0
+    #: Chunk size of the forward pass (matches ``predict_logits``).
+    eval_batch_size: int = 64
+
+    def batching(self) -> BatchingConfig:
+        return BatchingConfig(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
+
+
+class ServingEngine:
+    """Batched inference over one sealed model artifact (thread-safe)."""
+
+    def __init__(
+        self,
+        artifact: Union[ModelArtifact, str, os.PathLike],
+        config: Optional[EngineConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if not isinstance(artifact, ModelArtifact):
+            artifact = load_artifact(os.fspath(artifact))
+        self.artifact = artifact
+        self.config = config if config is not None else EngineConfig()
+        self._dtype = np.dtype(artifact.dtype)
+        self.model = artifact.build_model(seed=seed)
+        self._closed = False
+        self._batcher = MicroBatcher(self._forward, self.config.batching())
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def predict(self, inputs) -> np.ndarray:
+        """Class logits for ``inputs``; blocks until the batch runs.
+
+        ``inputs`` is an ``(N, C, H, W)`` array-like in the artifact's
+        preprocessing layout (a single ``(C, H, W)`` sample is promoted
+        to a batch of one; an empty list means zero samples).  Returns
+        ``(N, num_classes)`` logits in the artifact's compute dtype —
+        ``N = 0`` still carries the full class dimension.
+        """
+        if self._closed:
+            raise RuntimeError("cannot predict with a closed ServingEngine")
+        return self._batcher.submit(self._validate(inputs))
+
+    def _validate(self, inputs) -> np.ndarray:
+        array = np.asarray(inputs, dtype=self._dtype)
+        expected = self.artifact.input_shape()
+        if array.size == 0 and array.ndim <= 1:
+            # ``[]`` over the wire / an empty list in-process: zero
+            # samples of the declared shape (the empty-input contract).
+            array = array.reshape((0,) + expected)
+        if array.ndim == 3:
+            array = array[None]
+        if array.ndim != 4 or array.shape[1:] != expected:
+            raise ValueError(
+                f"inputs must have shape (N, {expected[0]}, {expected[1]}, "
+                f"{expected[2]}), got {array.shape}"
+            )
+        return array
+
+    def stats(self) -> Dict[str, object]:
+        """Scheduler counters plus the served artifact's identity."""
+        return {
+            "model_name": self.artifact.model_name,
+            "num_classes": self.artifact.num_classes,
+            "dtype": str(self._dtype),
+            "sparsity": round(self.artifact.sparsity(), 6),
+            "batching": self._batcher.stats(),
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the scheduler thread (queued requests still complete)."""
+        if not self._closed:
+            self._closed = True
+            self._batcher.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Scheduler-side forward pass
+    # ------------------------------------------------------------------
+    def _forward(self, batch: np.ndarray) -> np.ndarray:
+        # The serving forward *is* ``predict_logits`` — same chunking,
+        # same empty-input contract — so the byte-identity guarantee is
+        # structural, not a hand-kept mirror.  ``fused=False`` because
+        # the sealed graph is already folded.  The dtype scope is
+        # thread-local and this method only ever runs on this engine's
+        # scheduler thread: the whole forward stays in the sealed
+        # precision without perturbing other threads, so engines sealed
+        # under different dtypes serve concurrently.
+        with default_dtype_scope(self._dtype):
+            return predict_logits(
+                self.model, batch, batch_size=self.config.eval_batch_size, fused=False
+            )

@@ -1,0 +1,145 @@
+"""Seal the winning grid point of a finished sweep as a model artifact.
+
+This is the bridge from the experiment layer to the serving layer: a
+finished :class:`~repro.experiments.results.ResultTable` names its best
+``(model, task, sparsity)`` point, and :func:`export_best` turns that
+point into a deployable ``repro-model/v1`` bundle — it re-draws the
+winning ticket through the (warm) pipeline caches, trains a linear
+serving head on the winning task, and calls
+:func:`~repro.serve.artifact.export_artifact` with provenance tying the
+artifact back to the experiment, scale, and run-store config hash.
+
+Only experiments whose rows expose ``model``/``task``/``sparsity``
+columns can be sealed (fig1/fig2-style OMP sweeps and the structured
+fig3 grid); the error message says so for the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.transfer import linear_evaluation
+from repro.experiments.config import get_scale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.results import ResultTable
+from repro.serve.artifact import default_preprocessing, export_artifact
+
+__all__ = ["best_point", "export_best", "sealable_columns_missing"]
+
+#: Score columns understood by :func:`best_point`, tried in order; the
+#: two-armed columns also name the ticket prior the score belongs to.
+_SCORE_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("robust_accuracy", "robust"),
+    ("natural_accuracy", "natural"),
+    ("robust_miou", "robust"),
+    ("natural_miou", "natural"),
+    ("accuracy", "robust"),
+    ("score", "robust"),
+)
+
+#: Row columns a sealable grid point must expose.
+_REQUIRED_COLUMNS = ("model", "task", "sparsity")
+
+
+def sealable_columns_missing(columns) -> list:
+    """What ``columns`` lacks to be sealable (empty list = sealable).
+
+    A sealable schema carries the ``(model, task, sparsity)`` grid
+    columns plus at least one score column :func:`best_point`
+    recognises.  The CLI checks an experiment's declared row schema
+    with this *before* running the sweep, so ``--export-model`` on an
+    unsupported experiment fails in milliseconds rather than after
+    hours.
+    """
+    present = set(columns)
+    missing = [name for name in _REQUIRED_COLUMNS if name not in present]
+    if not any(name in present for name, _ in _SCORE_COLUMNS):
+        missing.append(f"a score column (one of {[name for name, _ in _SCORE_COLUMNS]})")
+    return missing
+
+
+def best_point(table: ResultTable) -> Tuple[Dict[str, Any], str, str]:
+    """The winning ``(row, score_column, prior)`` of a finished table.
+
+    Every score column present in the table competes, so on a two-armed
+    sweep the winner may be either the robust or the natural arm; the
+    returned prior says which ticket to re-draw.
+    """
+    columns = set(table.columns())
+    candidates = [(name, prior) for name, prior in _SCORE_COLUMNS if name in columns]
+    if not candidates:
+        raise ValueError(
+            f"table {table.title!r} has no score column "
+            f"(looked for {[name for name, _ in _SCORE_COLUMNS]})"
+        )
+    winner: Optional[Tuple[Dict[str, Any], str, str]] = None
+    best_score = float("-inf")
+    for row in table.rows:
+        for name, prior in candidates:
+            score = row.get(name)
+            if score is None:
+                continue
+            if float(score) > best_score:
+                best_score = float(score)
+                winner = (row, name, prior)
+    if winner is None:
+        raise ValueError(f"table {table.title!r} has no scored rows to export")
+    return winner
+
+
+def export_best(
+    table: ResultTable,
+    experiment: str,
+    scale,
+    context: ExperimentContext,
+    path: str,
+    key=None,
+) -> str:
+    """Seal the best grid point of ``table`` to ``path``; returns the path.
+
+    ``context`` must be the context the sweep ran with (its pretrained
+    backbones are warm, so re-drawing the winning OMP ticket is cheap);
+    ``key`` — the sweep's :class:`~repro.core.runstore.RunKey` — stamps
+    the run-store config hash into the artifact's provenance.
+    """
+    scale = get_scale(scale)
+    row, score_column, prior = best_point(table)
+    missing = sealable_columns_missing(row)
+    if missing:
+        raise ValueError(
+            f"experiment {experiment!r} rows carry no {missing} columns, so its "
+            "winning point cannot be re-drawn as a ticket; --export-model supports "
+            "sweeps over (model, task, sparsity) grids such as fig1/fig2/fig3"
+        )
+
+    pipeline = context.pipeline(str(row["model"]))
+    granularity = str(row.get("granularity", "unstructured"))
+    ticket = pipeline.draw_omp_ticket(prior, float(row["sparsity"]), granularity=granularity)
+    task = context.task(str(row["task"]))
+    # A fresh linear head over the frozen masked backbone: deterministic,
+    # cheap (features are extracted once), and faithful to the linear-
+    # evaluation protocol the paper scores tickets with.
+    head = linear_evaluation(
+        ticket, task, epochs=scale.linear_epochs, seed=scale.seed, keep_model=True
+    )
+    provenance: Dict[str, Any] = {
+        "experiment": experiment,
+        "scale": scale.name,
+        "selected_by": score_column,
+        "selected_score": float(row[score_column]),
+        "row": {name: row.get(name) for name in row},
+        "task": task.name,
+        "head": "linear",
+        "head_accuracy": float(head.score),
+    }
+    if key is not None:
+        provenance["config_hash"] = key.config_hash
+    return export_artifact(
+        ticket,
+        path,
+        num_classes=task.num_classes,
+        head=head.model,
+        preprocessing=default_preprocessing(task.image_size),
+        provenance=provenance,
+        seed=scale.seed,
+    )

@@ -1,0 +1,264 @@
+"""Stdlib-only HTTP frontend for the serving subsystem.
+
+``python -m repro.serve --artifact model.npz`` starts a threaded HTTP
+server over a :class:`~repro.serve.store.ModelStore`:
+
+* ``GET /healthz`` — liveness plus which models are registered/loaded;
+* ``GET /models`` — full artifact metadata per registered model;
+* ``POST /predict`` — JSON ``{"inputs": [[...]], "model": "name"?}`` ->
+  ``{"logits": [[...]], "dtype": ..., "shape": [...]}``.
+
+Handler threads only parse/serialise JSON and block on the engine's
+micro-batcher, so concurrent requests coalesce into shared forward
+passes exactly like in-process traffic.  Responses carry the artifact's
+compute dtype and the logits' shape, which lets a client reconstruct
+the numpy result byte-identically (including zero-row responses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence, Tuple
+
+from repro.serve.engine import EngineConfig
+from repro.serve.store import ModelStore
+
+__all__ = ["ServingHTTPServer", "build_parser", "create_server", "main"]
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to a model store."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], store: ModelStore, default_model: str) -> None:
+        super().__init__(address, _Handler)
+        self.store = store
+        self.default_model = default_model
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServingHTTPServer
+
+    # Keep-alive responses require accurate Content-Length, which
+    # ``_send_json`` always sets.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if os.environ.get("REPRO_SERVE_LOG"):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "default_model": self.server.default_model,
+                    "models": self.server.store.names(),
+                    "loaded": self.server.store.loaded(),
+                },
+            )
+        elif self.path == "/models":
+            self._send_json(200, {"models": self.server.store.describe()})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        # Drain the body before routing: leaving unread bytes on a
+        # keep-alive connection would desynchronise the next request.
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length)
+        except (ValueError, OSError):
+            self._send_json(400, {"error": "unreadable request body"})
+            return
+        if self.path != "/predict":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "request body must be a JSON object"})
+            return
+        if not isinstance(payload, dict) or "inputs" not in payload:
+            self._send_json(400, {"error": 'request must carry an "inputs" field'})
+            return
+        name = payload.get("model") or self.server.default_model
+        logits = None
+        for attempt in (0, 1):
+            try:
+                engine = self.server.store.get(name)
+            except KeyError as error:
+                self._send_json(404, {"error": str(error)})
+                return
+            except (OSError, ValueError, RuntimeError) as error:
+                # The registered artifact failed to load (deleted or
+                # corrupted on disk since registration).
+                self._send_json(503, {"error": f"model {name!r} failed to load: {error}"})
+                return
+            try:
+                logits = engine.predict(payload["inputs"])
+                break
+            except (ValueError, TypeError) as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            except RuntimeError as error:
+                if engine.closed:
+                    # LRU-evicted between the lookup and the predict;
+                    # one re-fetch reloads it.  Still churning after
+                    # the retry is a capacity problem: 503.
+                    if attempt == 0:
+                        continue
+                    self._send_json(503, {"error": str(error)})
+                else:
+                    # A live engine failing is a model bug, not
+                    # pressure — report it, don't retry it.
+                    self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+                return
+            except Exception as error:  # noqa: BLE001 - report, don't drop the socket
+                self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+                return
+        self._send_json(
+            200,
+            {
+                "model": name,
+                "logits": logits.tolist(),
+                "dtype": str(logits.dtype),
+                "shape": list(logits.shape),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def create_server(
+    store: ModelStore,
+    default_model: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServingHTTPServer:
+    """Bind (but do not start) a serving server; ``port=0`` picks a free one."""
+    return ServingHTTPServer((host, port), store, default_model)
+
+
+def _artifact_name(spec: str) -> Tuple[str, str]:
+    """Parse an ``--artifact`` value: ``NAME=PATH`` or bare ``PATH``."""
+    if "=" in spec:
+        name, _, path = spec.partition("=")
+        if name and path:
+            return name, path
+    stem = os.path.basename(spec)
+    for suffix in (".npz",):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+    return stem, spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve sealed repro-model/v1 artifacts over HTTP.",
+    )
+    parser.add_argument(
+        "--artifact",
+        action="append",
+        required=True,
+        metavar="[NAME=]PATH",
+        help=(
+            "sealed model artifact to serve; repeat to register several "
+            "(the first one is the default model for /predict)"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8100, help="bind port (default: 8100)")
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=4,
+        metavar="N",
+        help="resident engines before LRU eviction kicks in (default: 4)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="rows one micro-batch may coalesce (default: 64)",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="wait budget of a lone request before its batch runs (default: 2.0)",
+    )
+    parser.add_argument(
+        "--eval-batch-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="forward-pass chunk size, mirroring predict_logits (default: 64)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Start the serving frontend; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = EngineConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        eval_batch_size=args.eval_batch_size,
+    )
+    store = ModelStore(capacity=args.capacity, config=config)
+    default_model = None
+    for spec in args.artifact:
+        name, path = _artifact_name(spec)
+        if name in store.names():
+            parser.error(
+                f"two --artifact values resolve to the model name {name!r}; "
+                "disambiguate with NAME=PATH"
+            )
+        try:
+            store.register(name, path)
+        except (OSError, ValueError) as error:
+            parser.error(str(error))
+        default_model = default_model or name
+    assert default_model is not None
+    # Load the default model eagerly: once /healthz answers, /predict
+    # will not pay a cold model load.
+    store.get(default_model)
+
+    server = create_server(store, default_model, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {store.names()} on http://{host}:{port} "
+        "(POST /predict, GET /healthz, GET /models)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        store.close()
+    return 0

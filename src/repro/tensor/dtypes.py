@@ -16,6 +16,13 @@ The default can be configured three ways, in increasing precedence:
 * :func:`default_dtype_scope`, a context manager restoring the previous
   default on exit (what tests and dtype-parametrised code should use).
 
+A scope is **thread-local**: it overrides the dtype for the entering
+thread only, so a serving engine replaying a float32 model on its
+scheduler thread cannot perturb a float64 training loop (or another
+engine) running concurrently in the same process.
+:func:`set_default_dtype` remains the process-wide base value that
+threads without an active scope read.
+
 Changing the default only affects tensors created afterwards; existing
 arrays keep their dtype, and mixed-precision expressions follow numpy
 promotion rules.
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import threading
 
 import numpy as np
 
@@ -69,9 +77,24 @@ def _initial_dtype() -> np.dtype:
 _default_dtype = _initial_dtype()
 
 
+class _ScopeState(threading.local):
+    """Per-thread dtype override installed by :func:`default_dtype_scope`."""
+
+    def __init__(self) -> None:
+        self.override = None
+
+
+_scope_state = _ScopeState()
+
+
 def default_dtype() -> np.dtype:
-    """The floating dtype new tensors, parameters, and buffers are created with."""
-    return _default_dtype
+    """The floating dtype new tensors, parameters, and buffers are created with.
+
+    Reads the calling thread's active :func:`default_dtype_scope`
+    override first, falling back to the process-wide default.
+    """
+    override = _scope_state.override
+    return override if override is not None else _default_dtype
 
 
 def set_default_dtype(dtype) -> np.dtype:
@@ -87,10 +110,16 @@ def set_default_dtype(dtype) -> np.dtype:
 
 @contextlib.contextmanager
 def default_dtype_scope(dtype):
-    """Temporarily switch the compute dtype, restoring the previous one on exit."""
-    previous = _default_dtype
-    set_default_dtype(dtype)
+    """Temporarily switch the compute dtype, restoring the previous one on exit.
+
+    The override is visible only to the entering thread (scopes nest),
+    so concurrent threads — serving engines, training loops — can each
+    hold a different compute dtype without racing on shared state.
+    """
+    resolved = _resolve(dtype)
+    previous = _scope_state.override
+    _scope_state.override = resolved
     try:
-        yield _default_dtype
+        yield resolved
     finally:
-        set_default_dtype(previous)
+        _scope_state.override = previous

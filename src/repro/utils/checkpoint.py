@@ -3,9 +3,25 @@
 from __future__ import annotations
 
 import os
+import uuid
 from typing import Dict
 
 import numpy as np
+
+
+def staging_path(path: str) -> str:
+    """A per-writer unique temp path next to ``path`` for atomic writes.
+
+    Multi-process sweeps can store the same entry concurrently (e.g.
+    two workers missing on an identical artefact); a fixed ``.tmp``
+    name would let one writer's ``os.replace`` consume or tear the
+    other's half-written file, so every writer stages under its own
+    pid+uuid name and the last atomic rename wins.  Shared by
+    :func:`save_state_dict`, :class:`repro.core.cache.SweepCache` and
+    :class:`repro.core.runstore.RunStore`.
+    """
+    base, _ = os.path.splitext(path)
+    return f"{base}.{os.getpid()}-{uuid.uuid4().hex}.tmp"
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: str) -> str:
@@ -13,13 +29,27 @@ def save_state_dict(state: Dict[str, np.ndarray], path: str) -> str:
 
     Parameter names may contain dots, which ``np.savez`` handles fine as
     archive member names.
+
+    The archive lands atomically: arrays are first written to a unique
+    staging file next to ``path`` (see :func:`staging_path`) and then
+    moved into place with ``os.replace``, so a process killed mid-write
+    can never leave a truncated ``.npz`` at the final path — readers see
+    either the previous complete file or the new one.
     """
     directory = os.path.dirname(os.path.abspath(path))
     if directory:
         os.makedirs(directory, exist_ok=True)
     if not path.endswith(".npz"):
         path = path + ".npz"
-    np.savez(path, **state)
+    # ``np.savez`` appends ``.npz`` to names without it, so give the
+    # staging file the suffix up front to control the exact temp name.
+    temporary = staging_path(path) + ".npz"
+    try:
+        np.savez(temporary, **state)
+        os.replace(temporary, path)
+    finally:
+        if os.path.exists(temporary):
+            os.remove(temporary)
     return path
 
 
@@ -29,3 +59,20 @@ def load_state_dict(path: str) -> Dict[str, np.ndarray]:
         path = path + ".npz"
     with np.load(path) as archive:
         return {name: archive[name].copy() for name in archive.files}
+
+
+def verify_dtypes(expected: Dict[str, str], payload: Dict[str, np.ndarray], path: str) -> None:
+    """Check loaded arrays against the dtypes their header recorded.
+
+    Serialised bundles that care about exact precision (tickets, sealed
+    model artifacts) stamp ``{array name: dtype string}`` into their
+    JSON header; this raises :class:`ValueError` if any loaded array
+    came back in a different dtype, so a precision change can never
+    slip through a save/load round-trip silently.
+    """
+    for name, dtype in expected.items():
+        if name in payload and str(payload[name].dtype) != dtype:
+            raise ValueError(
+                f"array {name!r} in {path!r} has dtype "
+                f"{payload[name].dtype}, expected {dtype}"
+            )

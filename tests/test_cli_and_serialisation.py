@@ -83,3 +83,38 @@ class TestTicketSerialisation:
         path = save_state_dict({"w": np.zeros(3)}, os.path.join(tmp_path, "not_a_ticket"))
         with pytest.raises(ValueError):
             Ticket.load(path)
+
+    @pytest.mark.parametrize("engine_dtype", [np.float32, np.float64], ids=["f32", "f64"])
+    def test_roundtrip_preserves_exact_array_dtypes(self, tmp_path, engine_dtype):
+        """Weights keep the engine dtype they were drawn under; masks stay uint8."""
+        from repro.tensor import dtypes
+
+        with dtypes.default_dtype_scope(engine_dtype):
+            ticket = self.make_ticket()
+        assert all(value.dtype == engine_dtype for value in ticket.backbone_state.values())
+        path = ticket.save(os.path.join(tmp_path, "ticket"))
+        loaded = Ticket.load(path)
+        for name, value in ticket.backbone_state.items():
+            assert loaded.backbone_state[name].dtype == value.dtype == engine_dtype
+            np.testing.assert_array_equal(loaded.backbone_state[name], value)
+        for name in ticket.mask.names():
+            assert loaded.mask[name].dtype == np.uint8
+
+    def test_load_rejects_dtype_drift(self, tmp_path):
+        """A header/array dtype mismatch is an error, not a silent cast."""
+        import json
+
+        from repro.utils.checkpoint import load_state_dict, save_state_dict
+
+        ticket = self.make_ticket()
+        path = ticket.save(os.path.join(tmp_path, "ticket"))
+        payload = load_state_dict(path)
+        header = json.loads(payload["__ticket_header__"].tobytes().decode("utf-8"))
+        drifted_name = next(name for name in payload if name.startswith("weight./"))
+        header["dtypes"][drifted_name] = "float16"
+        payload["__ticket_header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        save_state_dict(payload, path)
+        with pytest.raises(ValueError, match="dtype"):
+            Ticket.load(path)

@@ -50,6 +50,32 @@ class TestDtypeAPI:
                 raise RuntimeError("boom")
         assert default_dtype() == before
 
+    def test_scope_is_thread_local(self):
+        """A scope overrides only its own thread (serving engines rely on it)."""
+        import threading
+
+        dtypes.set_default_dtype(np.float64)
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def scoped_worker():
+            with default_dtype_scope(np.float32):
+                entered.set()
+                release.wait(timeout=10.0)
+                seen["worker"] = default_dtype()
+
+        thread = threading.Thread(target=scoped_worker)
+        thread.start()
+        entered.wait(timeout=10.0)
+        # The worker's float32 scope must not leak into this thread ...
+        seen["main"] = default_dtype()
+        release.set()
+        thread.join()
+        assert seen["main"] == np.dtype(np.float64)
+        # ... and the process-wide default must not clobber the scope.
+        assert seen["worker"] == np.dtype(np.float32)
+
 
 @pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["float32", "float64"])
 class TestDtypeThreading:

@@ -1,0 +1,519 @@
+"""Tests for the ``repro.serve`` subsystem.
+
+Covers the sealed ``repro-model/v1`` artifact round-trip (dtype and
+packed-mask fidelity, byte-identical rebuilt predictions), the
+micro-batching scheduler's edge cases (single request under the wait
+budget, requests larger than ``max_batch``, empty inputs, concurrent
+clients, error delivery), the LRU model store, the stdlib HTTP frontend,
+and the export-best-point bridge from a finished sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.tickets import Ticket
+from repro.models.heads import ClassifierHead
+from repro.models.resnet import resnet18
+from repro.pruning.mask import magnitude_mask
+from repro.serve import (
+    BatchingConfig,
+    EngineConfig,
+    HTTPClient,
+    MicroBatcher,
+    ModelStore,
+    ServingEngine,
+    ServingError,
+    create_server,
+    export_artifact,
+    load_artifact,
+)
+from repro.tensor import dtypes
+from repro.training.evaluation import predict_logits
+from repro.utils.seeding import seeded_rng
+
+
+def make_ticket(sparsity: float = 0.6) -> Ticket:
+    backbone = resnet18(base_width=4, seed=0)
+    mask = magnitude_mask(backbone, sparsity=sparsity)
+    return Ticket(
+        scheme="omp",
+        prior="adversarial",
+        model_name="resnet18",
+        base_width=4,
+        sparsity=mask.sparsity(),
+        mask=mask,
+        backbone_state=backbone.state_dict(),
+    )
+
+
+def reference_model(ticket: Ticket, num_classes: int = 5, seed: int = 3):
+    """The exact model ``export_artifact(ticket, ..., seed=3)`` seals."""
+    return ClassifierHead(ticket.materialise(seed=seed), num_classes=num_classes, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def sealed(tmp_path_factory):
+    """One exported artifact (path, ticket) shared by the read-only tests."""
+    ticket = make_ticket()
+    path = export_artifact(
+        ticket,
+        str(tmp_path_factory.mktemp("serve") / "model.npz"),
+        num_classes=5,
+        seed=3,
+        provenance={"experiment": "unit"},
+    )
+    return path, ticket
+
+
+@pytest.fixture
+def images():
+    return seeded_rng(11).uniform(0.0, 1.0, size=(7, 3, 16, 16))
+
+
+class TestModelArtifact:
+    def test_round_trip_header_and_masks(self, sealed):
+        path, ticket = sealed
+        artifact = load_artifact(path)
+        assert artifact.model_name == "resnet18"
+        assert artifact.base_width == 4
+        assert artifact.num_classes == 5
+        assert artifact.input_shape() == (3, 16, 16)
+        assert artifact.provenance["experiment"] == "unit"
+        assert artifact.provenance["ticket"] == ticket.name
+        # The packed masks unpack to exactly the ticket's mask bits.
+        mask = artifact.mask()
+        expected = ticket.mask.add_prefix("backbone.")
+        assert mask.names() == expected.names()
+        for name in mask.names():
+            np.testing.assert_array_equal(mask[name], expected[name])
+        assert artifact.sparsity() == pytest.approx(ticket.sparsity)
+
+    def test_masks_are_bit_packed_on_disk(self, sealed):
+        path, ticket = sealed
+        with np.load(path) as archive:
+            packed_bytes = sum(
+                archive[name].nbytes for name in archive.files if name.startswith("mask./")
+            )
+        unpacked_bytes = sum(mask.nbytes for mask in ticket.mask.as_dict().values())
+        assert packed_bytes <= unpacked_bytes / 8 + len(ticket.mask.names())
+
+    def test_state_dtype_preserved_exactly(self, sealed):
+        path, _ = sealed
+        artifact = load_artifact(path)
+        # The unit suite pins a float64 engine, so the sealed graph must
+        # round-trip as float64 bit for bit.
+        assert artifact.dtype == "float64"
+        assert all(value.dtype == np.float64 for value in artifact.state.values())
+
+    def test_float32_artifact_round_trips(self, tmp_path):
+        with dtypes.default_dtype_scope(np.float32):
+            ticket = make_ticket()
+            path = export_artifact(ticket, str(tmp_path / "f32.npz"), num_classes=3)
+        artifact = load_artifact(path)
+        assert artifact.dtype == "float32"
+        # Loading in a float64 process must not promote the sealed graph.
+        with ServingEngine(path, EngineConfig(max_wait_ms=0.0)) as engine:
+            logits = engine.predict(np.zeros((2, 3, 16, 16)))
+        assert logits.dtype == np.float32
+
+    def test_rebuilt_predictions_byte_identical(self, sealed, images):
+        path, ticket = sealed
+        expected = predict_logits(reference_model(ticket), images)
+        got = predict_logits(load_artifact(path).build_model(), images)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        from repro.utils.checkpoint import save_state_dict
+
+        path = save_state_dict({"w": np.zeros(3)}, str(tmp_path / "foreign"))
+        with pytest.raises(ValueError, match="repro-model/v1"):
+            load_artifact(path)
+
+    def test_export_requires_num_classes_for_tickets(self, tmp_path):
+        with pytest.raises(ValueError, match="num_classes"):
+            export_artifact(make_ticket(), str(tmp_path / "x.npz"))
+
+    def test_atomic_export_survives_interrupted_rewrite(self, sealed, monkeypatch):
+        """A kill mid-export must leave the previous artifact intact."""
+        path, ticket = sealed
+        before = load_artifact(path)
+
+        def exploding_savez(*args, **kwargs):
+            raise KeyboardInterrupt("simulated kill mid-write")
+
+        monkeypatch.setattr(np, "savez", exploding_savez)
+        with pytest.raises(KeyboardInterrupt):
+            export_artifact(ticket, path, num_classes=5, seed=3)
+        monkeypatch.undo()
+        after = load_artifact(path)
+        assert sorted(after.state) == sorted(before.state)
+        for name, value in before.state.items():
+            np.testing.assert_array_equal(after.state[name], value)
+
+
+class TestMicroBatcher:
+    def test_single_request_completes_under_wait_budget(self):
+        calls = []
+
+        def batch_fn(batch):
+            calls.append(batch.shape[0])
+            return batch * 2.0
+
+        with MicroBatcher(batch_fn, BatchingConfig(max_batch=64, max_wait_ms=20.0)) as batcher:
+            start = time.monotonic()
+            result = batcher.submit(np.ones((3, 2)))
+            elapsed = time.monotonic() - start
+            np.testing.assert_array_equal(result, np.full((3, 2), 2.0))
+            stats = batcher.stats()
+        assert calls == [3]
+        assert stats["batches"] == 1 and stats["requests"] == 1
+        # The lone request waits at most the budget, not for a full batch.
+        assert elapsed < 5.0
+
+    def test_request_larger_than_max_batch_runs_alone(self):
+        seen = []
+
+        def batch_fn(batch):
+            seen.append(batch.shape[0])
+            return batch + 1.0
+
+        with MicroBatcher(batch_fn, BatchingConfig(max_batch=4, max_wait_ms=50.0)) as batcher:
+            result = batcher.submit(np.zeros((10, 2)))
+        np.testing.assert_array_equal(result, np.ones((10, 2)))
+        assert seen == [10]
+
+    def test_empty_request_round_trips(self):
+        with MicroBatcher(lambda batch: batch * 3.0, BatchingConfig(max_wait_ms=0.0)) as batcher:
+            result = batcher.submit(np.zeros((0, 4)))
+        assert result.shape == (0, 4)
+
+    def test_concurrent_requests_coalesce_and_fan_back_correctly(self):
+        def batch_fn(batch):
+            return batch * 10.0
+
+        clients = 6
+        barrier = threading.Barrier(clients)
+        results = {}
+
+        def client(index):
+            barrier.wait()
+            results[index] = batcher.submit(np.full((2, 3), float(index)))
+
+        with MicroBatcher(batch_fn, BatchingConfig(max_batch=64, max_wait_ms=250.0)) as batcher:
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = batcher.stats()
+        for index in range(clients):
+            np.testing.assert_array_equal(results[index], np.full((2, 3), index * 10.0))
+        assert stats["requests"] == clients
+        # The generous wait window must have coalesced at least one pair.
+        assert stats["coalesced_requests_max"] >= 2
+        assert stats["batches"] < clients
+
+    def test_errors_reach_every_caller_and_scheduler_survives(self):
+        state = {"fail": True}
+
+        def batch_fn(batch):
+            if state["fail"]:
+                raise RuntimeError("model exploded")
+            return batch
+
+        with MicroBatcher(batch_fn, BatchingConfig(max_wait_ms=0.0)) as batcher:
+            with pytest.raises(RuntimeError, match="model exploded"):
+                batcher.submit(np.ones((1, 1)))
+            state["fail"] = False
+            np.testing.assert_array_equal(batcher.submit(np.ones((1, 1))), np.ones((1, 1)))
+            assert batcher.stats()["errors"] == 1
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(lambda batch: batch, BatchingConfig())
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(np.ones((1, 1)))
+
+
+class TestServingEngine:
+    @pytest.fixture(scope="class")
+    def engine(self, sealed):
+        with ServingEngine(sealed[0], EngineConfig(max_wait_ms=0.5)) as engine:
+            yield engine
+
+    def test_single_request_byte_identical_to_predict_logits(self, sealed, engine, images):
+        _, ticket = sealed
+        expected = predict_logits(reference_model(ticket), images)
+        got = engine.predict(images)
+        assert got.dtype == expected.dtype
+        np.testing.assert_array_equal(got, expected)
+
+    def test_empty_input_keeps_class_dimension(self, engine):
+        assert engine.predict(np.zeros((0, 3, 16, 16))).shape == (0, 5)
+        # An empty list over the in-process API means zero samples too.
+        assert engine.predict([]).shape == (0, 5)
+
+    def test_single_sample_promoted_to_batch_of_one(self, engine, images):
+        logits = engine.predict(images[0])
+        assert logits.shape == (1, 5)
+
+    def test_wrong_shape_rejected(self, engine):
+        with pytest.raises(ValueError, match="shape"):
+            engine.predict(np.zeros((2, 1, 16, 16)))
+
+    def test_concurrent_clients_get_their_own_rows(self, sealed, images):
+        """Many clients hitting one engine: coalesced answers match serial ones."""
+        _, ticket = sealed
+        model = reference_model(ticket)
+        clients = 8
+        per_client = [images[i % len(images)][None] for i in range(clients)]
+        expected = [predict_logits(model, sample) for sample in per_client]
+
+        with ServingEngine(sealed[0], EngineConfig(max_batch=32, max_wait_ms=100.0)) as engine:
+            barrier = threading.Barrier(clients)
+            results = {}
+
+            def client(index):
+                barrier.wait()
+                results[index] = engine.predict(per_client[index])
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = engine.stats()["batching"]
+
+        for index in range(clients):
+            assert results[index].shape == (1, 5)
+            # Coalescing changes the GEMM batch shape, so low-order bits
+            # may differ from the serial forward; the values must agree
+            # to far tighter than any decision boundary.
+            np.testing.assert_allclose(results[index], expected[index], rtol=0, atol=1e-9)
+        assert stats["requests"] == clients
+        assert stats["coalesced_requests_max"] >= 2
+
+    def test_predict_after_close_raises(self, sealed):
+        engine = ServingEngine(sealed[0], EngineConfig(max_wait_ms=0.0))
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.predict(np.zeros((1, 3, 16, 16)))
+
+
+class TestModelStore:
+    def make_artifacts(self, tmp_path, count=3):
+        paths = []
+        for index in range(count):
+            ticket = make_ticket(sparsity=0.3 + 0.2 * index)
+            paths.append(
+                export_artifact(
+                    ticket, str(tmp_path / f"m{index}.npz"), num_classes=4, seed=index
+                )
+            )
+        return paths
+
+    def test_lru_eviction_closes_oldest_engine(self, tmp_path):
+        paths = self.make_artifacts(tmp_path)
+        store = ModelStore(capacity=2, config=EngineConfig(max_wait_ms=0.0))
+        for index, path in enumerate(paths):
+            store.register(f"m{index}", path)
+        first = store.get("m0")
+        store.get("m1")
+        assert store.loaded() == ["m0", "m1"]
+        store.get("m0")  # refresh m0 so m1 is now least recently used
+        store.get("m2")
+        assert store.loaded() == ["m0", "m2"]
+        assert not first.closed  # m0 survived the eviction
+        store.close()
+        assert store.loaded() == []
+        assert store.names() == ["m0", "m1", "m2"]
+
+    def test_unknown_name_raises_keyerror(self, tmp_path):
+        store = ModelStore(capacity=1)
+        with pytest.raises(KeyError, match="registered"):
+            store.get("ghost")
+
+    def test_describe_reports_metadata_without_loading(self, tmp_path):
+        paths = self.make_artifacts(tmp_path, count=1)
+        store = ModelStore(capacity=1)
+        store.register("only", paths[0])
+        (entry,) = store.describe()
+        assert entry["name"] == "only"
+        assert entry["loaded"] is False
+        assert entry["model_name"] == "resnet18"
+        assert entry["num_classes"] == 4
+
+
+class TestServeHTTP:
+    @pytest.fixture(scope="class")
+    def server(self, sealed):
+        store = ModelStore(capacity=2, config=EngineConfig(max_wait_ms=0.5))
+        store.register("demo", sealed[0])
+        server = create_server(store, "demo", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        store.close()
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        host, port = server.server_address[:2]
+        return HTTPClient(f"http://{host}:{port}", timeout=30.0)
+
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["default_model"] == "demo"
+        assert "demo" in health["models"]
+
+    def test_models_endpoint_lists_artifact_metadata(self, client):
+        (entry,) = client.models()["models"]
+        assert entry["name"] == "demo"
+        assert entry["format"] == "repro-model/v1"
+        assert entry["num_classes"] == 5
+
+    def test_predict_round_trip_byte_identical(self, sealed, client, images):
+        _, ticket = sealed
+        expected = predict_logits(reference_model(ticket), images)
+        served = client.predict(images)
+        assert served.dtype == expected.dtype
+        np.testing.assert_array_equal(served, expected)
+
+    def test_predict_empty_inputs(self, client):
+        assert client.predict([]).shape == (0, 5)
+
+    def test_predict_bad_shape_is_400(self, client):
+        with pytest.raises(ServingError) as info:
+            client.predict(np.zeros((2, 2)))
+        assert info.value.status == 400
+
+    def test_predict_unknown_model_is_404(self, client, images):
+        with pytest.raises(ServingError) as info:
+            client.predict(images, model="ghost")
+        assert info.value.status == 404
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServingError) as info:
+            client._request("/nope")
+        assert info.value.status == 404
+
+
+class TestExportBest:
+    @pytest.fixture(scope="class")
+    def unit_context(self):
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.context import ExperimentContext
+
+        scale = ExperimentScale(
+            name="unit-serve",
+            base_width=4,
+            source_classes=4,
+            source_train_size=48,
+            source_test_size=24,
+            pretrain_epochs=1,
+            downstream_train_size=32,
+            downstream_test_size=24,
+            finetune_epochs=1,
+            linear_epochs=5,
+            sparsity_grid=(0.6,),
+            high_sparsity_grid=(0.9,),
+            structured_sparsity_grid=(0.3,),
+            imp_iterations=1,
+            imp_epochs_per_iteration=1,
+            lmp_epochs=1,
+            attack_epsilon=0.02,
+            attack_steps=1,
+            segmentation_train_size=12,
+            segmentation_test_size=8,
+            segmentation_epochs=1,
+            vtab_train_size=12,
+            vtab_test_size=12,
+            fid_samples=12,
+            models=("resnet18",),
+            tasks=("cifar10",),
+        )
+        return ExperimentContext(scale)
+
+    def test_best_point_prefers_highest_score_across_arms(self):
+        from repro.experiments.results import ResultTable
+        from repro.serve.export import best_point
+
+        table = ResultTable(
+            "t",
+            [
+                dict(model="resnet18", task="cifar10", sparsity=0.6,
+                     robust_accuracy=0.4, natural_accuracy=0.7),
+                dict(model="resnet18", task="cifar10", sparsity=0.9,
+                     robust_accuracy=0.5, natural_accuracy=0.2),
+            ],
+        )
+        row, column, prior = best_point(table)
+        assert row["sparsity"] == 0.6
+        assert column == "natural_accuracy"
+        assert prior == "natural"
+
+    def test_export_best_seals_a_servable_winner(self, tmp_path, unit_context):
+        from repro.experiments.results import ResultTable
+        from repro.serve.export import export_best
+
+        table = ResultTable(
+            "fig2-like",
+            [
+                dict(model="resnet18", task="cifar10", sparsity=0.6,
+                     robust_accuracy=0.3, natural_accuracy=0.8),
+            ],
+        )
+        path = export_best(
+            table, "fig2", unit_context.scale, unit_context, str(tmp_path / "winner.npz")
+        )
+        artifact = load_artifact(path)
+        assert artifact.provenance["experiment"] == "fig2"
+        assert artifact.provenance["selected_by"] == "natural_accuracy"
+        assert artifact.provenance["head"] == "linear"
+        assert artifact.num_classes == unit_context.task("cifar10").num_classes
+        assert artifact.sparsity() == pytest.approx(0.6, abs=0.05)
+        with ServingEngine(path, EngineConfig(max_wait_ms=0.0)) as engine:
+            logits = engine.predict(np.zeros((2, 3, 16, 16)))
+        assert logits.shape == (2, artifact.num_classes)
+
+    def test_export_best_rejects_tables_without_grid_columns(self, tmp_path, unit_context):
+        from repro.experiments.results import ResultTable
+        from repro.serve.export import export_best
+
+        table = ResultTable("bad", [dict(scheme="imp", robust_accuracy=0.5)])
+        with pytest.raises(ValueError, match="export-model"):
+            export_best(table, "fig4", unit_context.scale, unit_context, str(tmp_path / "x"))
+
+    def test_cli_parser_accepts_export_model(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["fig2", "--export-model", "winner.npz"])
+        assert args.export_model == "winner.npz"
+
+
+class TestServeCLI:
+    def test_parser_requires_artifact(self):
+        from repro.serve.http import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_artifact_name_parsing(self):
+        from repro.serve.http import _artifact_name
+
+        assert _artifact_name("demo=/tmp/m.npz") == ("demo", "/tmp/m.npz")
+        assert _artifact_name(os.path.join("runs", "winner.npz"))[0] == "winner"
+
+    def test_main_rejects_missing_artifact(self, tmp_path, capsys):
+        from repro.serve.http import main
+
+        with pytest.raises(SystemExit):
+            main(["--artifact", str(tmp_path / "missing.npz"), "--port", "0"])

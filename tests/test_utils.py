@@ -60,6 +60,41 @@ class TestCheckpoint:
         save_state_dict({"w": np.zeros(1)}, nested)
         assert os.path.exists(nested)
 
+    def test_kill_during_save_never_leaves_truncated_archive(self, tmp_path, monkeypatch):
+        """A process dying mid-``save_state_dict`` must not tear the target.
+
+        The save stages into a unique temp file and lands via
+        ``os.replace``; simulating a kill at any point of the array
+        write must leave either the previous complete archive or no
+        archive at all — never a half-written ``.npz``.
+        """
+        path = os.path.join(tmp_path, "ckpt.npz")
+        save_state_dict({"w": np.arange(4.0)}, path)
+
+        real_savez = np.savez
+
+        def dying_savez(file, **arrays):
+            real_savez(file, **{name: value * 0 for name, value in arrays.items()})
+            raise KeyboardInterrupt("simulated SIGKILL mid-write")
+
+        monkeypatch.setattr(np, "savez", dying_savez)
+        with pytest.raises(KeyboardInterrupt):
+            save_state_dict({"w": np.arange(4.0) + 1}, path)
+        monkeypatch.undo()
+
+        # The final path still holds the previous, complete archive ...
+        np.testing.assert_array_equal(load_state_dict(path)["w"], np.arange(4.0))
+        # ... and the failed writer's staging file was cleaned up.
+        assert os.listdir(tmp_path) == ["ckpt.npz"]
+
+    def test_concurrent_style_writers_land_whole_archives(self, tmp_path):
+        """Two writers to one path: the survivor is one complete archive."""
+        path = os.path.join(tmp_path, "shared.npz")
+        save_state_dict({"w": np.zeros(8)}, path)
+        save_state_dict({"w": np.ones(8)}, path)
+        np.testing.assert_array_equal(load_state_dict(path)["w"], np.ones(8))
+        assert os.listdir(tmp_path) == ["shared.npz"]
+
 
 class TestMetricLogger:
     def test_logging_and_queries(self):
