@@ -1,87 +1,52 @@
 """Substrate micro-benchmarks: forward/backward throughput of the numpy engine.
 
-These are true timing benchmarks (multiple rounds) for the building
-blocks every experiment relies on; regressions here inflate every other
-benchmark in the suite.  The suite also pins down the engine's
-compute-precision contract: the default ``float32`` path must stay
-meaningfully faster than the ``float64`` path it replaced.
+The payloads are the registered :mod:`repro.bench` specs — this file is
+a thin pytest-benchmark wrapper over the registry (so ``--benchmark-json
+BENCH_engine.json`` keeps tracking the same numbers CI gates on), plus
+the engine's two direction-of-effect contracts that need paired
+measurements rather than baselines: Conv+BN fusion must agree with the
+unfused model, and the ``float32`` default must stay faster than the
+``float64`` path it replaced.
 """
 
 import os
-import time
 
 import numpy as np
 import pytest
 
+from repro.bench import best_wall, get_bench
 from repro.models.heads import ClassifierHead
-from repro.models.resnet import resnet18, resnet50
+from repro.models.resnet import resnet18
 from repro.nn.fuse import fuse
 from repro.tensor import Tensor, cross_entropy, default_dtype, default_dtype_scope, no_grad
 
 
-@pytest.fixture(scope="module")
-def batch():
-    rng = np.random.default_rng(0)
-    return rng.uniform(size=(16, 3, 16, 16)), rng.integers(0, 10, size=16)
+def _bench_registered(benchmark, name: str, rounds: int) -> None:
+    spec = get_bench(name)
+    state = spec.setup()
+    benchmark.pedantic(spec.payload, args=(state,), rounds=rounds, iterations=1, warmup_rounds=1)
 
 
-def _forward_backward(model, images, labels):
-    model.train()
-    logits = model(Tensor(images))
-    loss = cross_entropy(logits, labels)
-    loss.backward()
-    model.zero_grad()
-    return float(loss.item())
+def test_resnet18_train_step_throughput(benchmark):
+    _bench_registered(benchmark, "engine.train_step", rounds=3)
 
 
-def test_resnet18_forward_backward_throughput(benchmark, batch):
-    images, labels = batch
-    model = ClassifierHead(resnet18(base_width=8, seed=0), num_classes=10, seed=1)
-    loss = benchmark.pedantic(
-        _forward_backward, args=(model, images, labels), rounds=3, iterations=1, warmup_rounds=1
-    )
-    assert np.isfinite(loss)
+def test_resnet50_train_step_throughput(benchmark):
+    _bench_registered(benchmark, "engine.train_step_resnet50", rounds=2)
 
 
-def test_resnet50_forward_backward_throughput(benchmark, batch):
-    images, labels = batch
-    model = ClassifierHead(resnet50(base_width=8, seed=0), num_classes=10, seed=1)
-    loss = benchmark.pedantic(
-        _forward_backward, args=(model, images, labels), rounds=2, iterations=1, warmup_rounds=1
-    )
-    assert np.isfinite(loss)
-
-
-def test_resnet18_inference_throughput(benchmark, batch):
-    images, _ = batch
-    model = ClassifierHead(resnet18(base_width=8, seed=0), num_classes=10, seed=1)
-    model.eval()
-
-    def infer():
-        return model(Tensor(images)).data
-
-    logits = benchmark.pedantic(infer, rounds=5, iterations=1, warmup_rounds=1)
-    assert logits.shape == (16, 10)
-
-
-def test_resnet18_fused_inference_throughput(benchmark, batch):
+def test_resnet18_fused_inference_throughput(benchmark):
     """Eval-path timing through the Conv+BN-folded model (repro.nn.fuse).
 
     This is the configuration ``Trainer.evaluate`` and
     ``predict_logits`` actually run, so this number is the per-step
     eval time the sweep grids pay.
     """
-    images, _ = batch
-    model = ClassifierHead(resnet18(base_width=8, seed=0), num_classes=10, seed=1)
-    model.eval()
-    fused = fuse(model)
+    _bench_registered(benchmark, "engine.fused_inference", rounds=5)
 
-    def infer():
-        with no_grad():
-            return fused(Tensor(images)).data
 
-    logits = benchmark.pedantic(infer, rounds=5, iterations=1, warmup_rounds=1)
-    assert logits.shape == (16, 10)
+def test_conv2d_throughput(benchmark):
+    _bench_registered(benchmark, "tensor.conv2d_train", rounds=5)
 
 
 def test_conv_bn_fusion_speedup():
@@ -97,18 +62,15 @@ def test_conv_bn_fusion_speedup():
     model.eval()
     fused = fuse(model)
 
-    def best_time(module, rounds=9):
-        with no_grad():
-            module(Tensor(images))
-            times = []
-            for _ in range(rounds):
-                start = time.perf_counter()
+    def forward(module):
+        def run():
+            with no_grad():
                 module(Tensor(images))
-                times.append(time.perf_counter() - start)
-        return min(times)
 
-    unfused_time = best_time(model)
-    fused_time = best_time(fused)
+        return run
+
+    unfused_time = best_wall(forward(model), repeats=9)
+    fused_time = best_wall(forward(fused), repeats=9)
     with no_grad():
         reference = model(Tensor(images)).data
         folded = fused(Tensor(images)).data
@@ -123,8 +85,8 @@ def test_conv_bn_fusion_speedup():
     # ratio is report-only because scheduler noise on a loaded machine
     # can swamp an effect this small (real measurements see ~1.1-1.3x
     # from folding alone; the rest of the eval-path win comes from the
-    # im2col layout).  The tracked BENCH_engine.json records the fused
-    # inference timing per push.
+    # im2col layout).  The bench-gate CI job tracks the fused inference
+    # timing against its committed baseline per push.
 
 
 def test_default_dtype_is_float32():
@@ -143,20 +105,23 @@ def test_float32_speedup_over_float64():
     images = rng.uniform(size=(32, 3, 16, 16))
     labels = rng.integers(0, 10, size=32)
 
-    def best_time(dtype, rounds=3):
+    def train_step(model):
+        def run():
+            model.train()
+            loss = cross_entropy(model(Tensor(images)), labels)
+            loss.backward()
+            model.zero_grad()
+            assert np.isfinite(loss.item())
+
+        return run
+
+    def timed(dtype):
         with default_dtype_scope(dtype):
             model = ClassifierHead(resnet18(base_width=16, seed=0), num_classes=10, seed=1)
-            _forward_backward(model, images, labels)  # warmup
-            times = []
-            for _ in range(rounds):
-                start = time.perf_counter()
-                loss = _forward_backward(model, images, labels)
-                times.append(time.perf_counter() - start)
-            assert np.isfinite(loss)
-        return min(times)
+            return best_wall(train_step(model), repeats=3)
 
-    float64_time = best_time(np.float64)
-    float32_time = best_time(np.float32)
+    float64_time = timed(np.float64)
+    float32_time = timed(np.float32)
     speedup = float64_time / float32_time
     print(
         f"\nfloat64 {float64_time * 1e3:.1f}ms  float32 {float32_time * 1e3:.1f}ms  "

@@ -1,0 +1,120 @@
+"""Machine calibration: normalise wall-times into machine-relative units.
+
+Benchmark baselines are committed to the repository, but the machine
+that blessed them (a developer laptop) and the machines that check them
+(shared CI runners) can differ by an order of magnitude in raw speed.
+Comparing absolute wall-times across that gap is meaningless, so every
+benchmark run first measures a **fixed, deterministic amount of work**
+— the same work on every machine, every run — and reports each spec's
+time as a multiple of it.  A spec that takes 40 calibration units on
+the blessing machine should take ~40 units on any machine; a 2x
+regression shows up as ~80 units everywhere.
+
+The calibration work blends the two regimes the benchmarks live in:
+
+* a pure-Python spin loop (interpreter dispatch speed — what the sweep
+  dispatcher and the batching scheduler are bound by), and
+* a fixed-shape float32 matmul (BLAS throughput — what the conv/GEMM
+  engine paths are bound by),
+
+combined as a geometric mean so neither regime dominates the unit.
+Each component is measured as a best-of-``repeats`` to shed scheduler
+noise, exactly like the spec payloads themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.utils.timing import best_wall
+
+#: Bump when the calibration workload changes: units measured against a
+#: different workload are not comparable, and the comparator refuses to
+#: compare across versions.
+CALIBRATION_VERSION = 1
+
+#: Iterations of the pure-Python spin loop (fixed work, ~5ms on a
+#: current core).
+SPIN_ITERATIONS = 200_000
+
+#: Shape / repetitions of the BLAS probe (fixed work, ~2-5ms).
+BLAS_SIZE = 192
+BLAS_REPEATS = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class Calibration:
+    """One machine's measured speed on the fixed calibration work."""
+
+    unit_s: float
+    spin_s: float
+    blas_s: float
+    version: int = CALIBRATION_VERSION
+
+    def units(self, seconds: float) -> float:
+        """``seconds`` of wall-time in machine-relative units."""
+        return seconds / self.unit_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "unit_s": self.unit_s,
+            "spin_s": self.spin_s,
+            "blas_s": self.blas_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Calibration":
+        return cls(
+            unit_s=float(payload["unit_s"]),
+            spin_s=float(payload["spin_s"]),
+            blas_s=float(payload["blas_s"]),
+            version=int(payload.get("version", CALIBRATION_VERSION)),
+        )
+
+
+def _spin() -> int:
+    # A fixed-length LCG walk: integer arithmetic only, no allocation,
+    # so the measured time tracks interpreter dispatch speed.
+    state = 1
+    for _ in range(SPIN_ITERATIONS):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (2**64)
+    return state
+
+
+#: Built once, outside any timed region: the BLAS probe must measure
+#: the matmul chain, not numpy's RNG or allocator.
+_BLAS_MATRIX: Optional[np.ndarray] = None
+
+
+def _blas() -> float:
+    global _BLAS_MATRIX
+    if _BLAS_MATRIX is None:
+        rng = np.random.default_rng(0)
+        _BLAS_MATRIX = rng.standard_normal((BLAS_SIZE, BLAS_SIZE)).astype(np.float32)
+    out = _BLAS_MATRIX
+    for _ in range(BLAS_REPEATS):
+        out = out @ _BLAS_MATRIX
+    return float(out.ravel()[0])
+
+
+def calibrate(repeats: int = 5) -> Calibration:
+    """Measure this machine's calibration unit (best-of-``repeats``)."""
+    _blas()  # materialise the probe matrix before any timing starts
+    spin_s = best_wall(_spin, repeats=repeats, warmup=1)
+    blas_s = best_wall(_blas, repeats=repeats, warmup=1)
+    unit_s = float(np.sqrt(spin_s * blas_s))
+    return Calibration(unit_s=unit_s, spin_s=spin_s, blas_s=blas_s)
+
+
+def check_comparable(run: Calibration, baseline: Calibration) -> Optional[str]:
+    """Why two calibrations cannot be compared, or ``None`` if they can."""
+    if run.version != baseline.version:
+        return (
+            f"calibration version mismatch (run v{run.version} vs baseline "
+            f"v{baseline.version}); re-bless the baseline"
+        )
+    return None

@@ -1,0 +1,168 @@
+"""One harness for every registered benchmark spec.
+
+Runs a :class:`~repro.bench.spec.BenchSpec` the same way regardless of
+what it measures: build the setup state (untimed), warm the payload,
+time ``repeats`` calls, and report the median together with the spread.
+Wall-times are additionally expressed in machine-relative units via the
+startup :class:`~repro.bench.calibrate.Calibration`, which is what the
+baseline comparator gates on.
+
+A finished run serialises as a versioned ``repro-bench/v1`` JSON
+artifact (atomic write, like every other artifact in the repo) that CI
+uploads per push — the perf trajectory the ROADMAP asks for — and that
+:mod:`repro.bench.compare` consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.bench.calibrate import Calibration, calibrate
+from repro.bench.spec import BenchSpec
+from repro.utils.checkpoint import staging_path
+from repro.utils.timing import best_wall  # noqa: F401  (re-export: ad-hoc paired timings)
+
+#: Format tag stamped into (and required from) benchmark run artifacts.
+ARTIFACT_FORMAT = "repro-bench/v1"
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchResult:
+    """One spec's measurement: wall-time stats, units, and metrics.
+
+    ``units`` is what the comparator gates on: the median wall-time
+    divided by the calibration unit (``timebase == "machine"``), or the
+    raw median seconds (``timebase == "wall"``).
+    """
+
+    spec: str
+    title: str
+    suites: List[str]
+    tolerance: float
+    timebase: str
+    warmup: int
+    repeats: int
+    wall_s: Dict[str, float]
+    units: float
+    metrics: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchResult":
+        return cls(
+            spec=str(payload["spec"]),
+            title=str(payload.get("title", payload["spec"])),
+            suites=[str(suite) for suite in payload.get("suites", [])],
+            tolerance=float(payload["tolerance"]),
+            timebase=str(payload.get("timebase", "machine")),
+            warmup=int(payload.get("warmup", 0)),
+            repeats=int(payload.get("repeats", 1)),
+            wall_s={key: float(value) for key, value in payload["wall_s"].items()},
+            units=float(payload["units"]),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+
+def measure(spec: BenchSpec, calibration: Calibration) -> BenchResult:
+    """Run one spec through the shared timing loop."""
+    state = spec.setup()
+    returned: Optional[Dict[str, Any]] = None
+    for _ in range(spec.warmup):
+        returned = spec.payload(state)
+    times: List[float] = []
+    for _ in range(spec.repeats):
+        start = time.perf_counter()
+        returned = spec.payload(state)
+        times.append(time.perf_counter() - start)
+
+    metrics: Dict[str, Any] = {}
+    if spec.metrics:
+        if not isinstance(returned, dict):
+            raise TypeError(
+                f"benchmark {spec.name!r} declares metrics {spec.metrics} but its "
+                f"payload returned {type(returned).__name__}, not a dict"
+            )
+        missing = [key for key in spec.metrics if key not in returned]
+        if missing:
+            raise KeyError(f"benchmark {spec.name!r} payload omitted declared metrics {missing}")
+        metrics = {key: returned[key] for key in spec.metrics}
+
+    wall = np.asarray(times, dtype=np.float64)
+    median = float(np.median(wall))
+    return BenchResult(
+        spec=spec.name,
+        title=spec.title,
+        suites=list(spec.suites),
+        tolerance=spec.tolerance,
+        timebase=spec.timebase,
+        warmup=spec.warmup,
+        repeats=spec.repeats,
+        wall_s={
+            "median": median,
+            "min": float(wall.min()),
+            "mean": float(wall.mean()),
+            "max": float(wall.max()),
+        },
+        units=calibration.units(median) if spec.timebase == "machine" else median,
+        metrics=metrics,
+    )
+
+
+def run_suite(
+    specs: Iterable[BenchSpec],
+    suite: str = "smoke",
+    calibration: Optional[Calibration] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Measure every spec and assemble a ``repro-bench/v1`` artifact dict."""
+    calibration = calibration if calibration is not None else calibrate()
+    results = []
+    for spec in specs:
+        if progress is not None:
+            progress(spec.name)
+        results.append(measure(spec, calibration).as_dict())
+    return {
+        "format": ARTIFACT_FORMAT,
+        "suite": suite,
+        "calibration": calibration.as_dict(),
+        "results": results,
+    }
+
+
+def write_artifact(path: str, artifact: Dict[str, Any]) -> str:
+    """Write a run artifact atomically (staging name + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    temporary = staging_path(path)
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    os.replace(temporary, path)
+    return path
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Re-hydrate (and validate) a ``repro-bench/v1`` run artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(f"{path!r} is not a {ARTIFACT_FORMAT} benchmark artifact")
+    return payload
+
+
+def artifact_results(artifact: Dict[str, Any]) -> List[BenchResult]:
+    """The artifact's measurements as :class:`BenchResult` objects."""
+    return [BenchResult.from_dict(entry) for entry in artifact.get("results", [])]
+
+
+def artifact_calibration(artifact: Dict[str, Any]) -> Calibration:
+    """The artifact's machine calibration."""
+    return Calibration.from_dict(artifact["calibration"])

@@ -19,6 +19,8 @@ SUBPACKAGES = [
     "repro.core",
     "repro.metrics",
     "repro.experiments",
+    "repro.serve",
+    "repro.bench",
     "repro.utils",
 ]
 
