@@ -1,0 +1,122 @@
+"""``python -m repro.analysis`` — lint and graph-check from the shell.
+
+Lint the tree (non-strict: report but exit 0)::
+
+    python -m repro.analysis lint src/repro
+
+Gate CI (any finding is a failure) and keep the machine-readable report::
+
+    python -m repro.analysis lint src/repro --strict --json lint-report.json
+
+Statically verify every registry model (what CI and ``export_artifact``
+run)::
+
+    python -m repro.analysis check
+    python -m repro.analysis check --models resnet18 --num-classes 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.findings import dump_report
+from repro.analysis.graph import GraphCheckError, check_model
+from repro.analysis.rules import ALL_RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static analysis for the repro codebase: lint rules and graph checks",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    lint = commands.add_parser("lint", help="run the AST lint rules over files/directories")
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any finding is reported (the CI gate)",
+    )
+    lint.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write findings as a repro-analysis/v1 JSON report",
+    )
+
+    check = commands.add_parser(
+        "check", help="statically verify registry models (shapes, dtypes, BN channels)"
+    )
+    check.add_argument(
+        "--models",
+        nargs="*",
+        default=None,
+        help="registry model names (default: every registered model)",
+    )
+    check.add_argument("--base-width", type=int, default=8, help="backbone base width")
+    check.add_argument("--num-classes", type=int, default=10, help="classifier head classes")
+    check.add_argument("--image-size", type=int, default=16, help="square input resolution")
+    check.add_argument("--channels", type=int, default=3, help="input channels")
+    return parser
+
+
+def _run_lint(arguments: argparse.Namespace) -> int:
+    findings = lint_paths(arguments.paths)
+    if arguments.json:
+        dump_report(findings, arguments.json)
+    for finding in findings:
+        print(f"{finding.location()}: {finding.rule}: {finding.message}")
+    rule_count = len(ALL_RULES)
+    if findings:
+        print(f"{len(findings)} finding(s) from {rule_count} rules")
+        return 1 if arguments.strict else 0
+    print(f"clean: 0 findings from {rule_count} rules")
+    return 0
+
+
+def _run_check(arguments: argparse.Namespace) -> int:
+    # Imported here so `lint` works even if model construction is broken.
+    from repro.models.heads import ClassifierHead
+    from repro.models.registry import available_models, build_model
+    from repro.nn.fuse import fuse
+
+    names = arguments.models if arguments.models else available_models()
+    input_shape = (arguments.channels, arguments.image_size, arguments.image_size)
+    status = 0
+    for name in names:
+        backbone = build_model(name, base_width=arguments.base_width)
+        model = ClassifierHead(backbone, num_classes=arguments.num_classes)
+        for label, candidate in ((name, model), (f"{name} (fused)", fuse(model))):
+            try:
+                summary = check_model(candidate, input_shape)
+            except GraphCheckError as error:
+                print(f"FAIL {label}: {error}")
+                status = 1
+                continue
+            print(
+                f"ok   {label}: {summary['input_shape']} -> {summary['output_shape']} "
+                f"[{summary['dtype']}, {summary['modules_checked']} modules]"
+            )
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = _build_parser().parse_args(list(argv) if argv is not None else None)
+    if arguments.command == "lint":
+        return _run_lint(arguments)
+    return _run_check(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""The lint engine: walk files, run rules, honour suppressions.
+
+Entry point is :func:`lint_paths`, which accepts files or directories,
+parses each ``.py`` file once, runs every rule in
+:data:`repro.analysis.rules.ALL_RULES` over it, and filters the result
+through per-line suppression comments::
+
+    value = np.float64(raw)  # repro: ignore[dtype-literal] -- probe is precision-pinned
+
+A suppression names exactly the rule it silences and **must** carry a
+reason after ``--``; a bare ``# repro: ignore[...]`` produces a
+``bad-suppression`` finding instead of silencing anything, so the
+strict CI gate cannot be quieted without leaving a written trace.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, FileContext, Rule, rule_ids
+
+__all__ = [
+    "BAD_SUPPRESSION_RULE",
+    "Suppression",
+    "lint_paths",
+    "lint_source",
+    "module_path_for",
+    "parse_suppressions",
+]
+
+#: Findings about malformed suppression comments carry this rule id.
+BAD_SUPPRESSION_RULE = "bad-suppression"
+
+#: Matches suppression comments: the ``repro: ignore`` marker, a
+#: bracketed rule list, and an optional reason tail after ``--``.
+#: Matched against COMMENT tokens only (never string/docstring bodies).
+_SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<rules>[^\]]*)\](?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+def _comment_tokens(source_lines: Sequence[str]) -> List[Tuple[int, int, str]]:
+    """``(line, column, text)`` of every comment, via the real tokenizer.
+
+    Tokenising (rather than regex-scanning raw lines) keeps suppression
+    syntax mentioned inside docstrings and string literals — this very
+    package documents it — from being parsed as live suppressions.
+    """
+    source = "\n".join(source_lines) + "\n"
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError):
+        pass  # the ast parse already reports unparseable files
+    return comments
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+def parse_suppressions(
+    module_path: str, source_lines: Sequence[str]
+) -> Tuple[Dict[int, Set[str]], List[Finding]]:
+    """Collect per-line suppressions, reporting malformed ones as findings.
+
+    Returns ``(silenced, problems)`` where ``silenced`` maps a 1-indexed
+    line number to the rule ids suppressed on that line.  A suppression
+    with no reason, an empty rule list, or an unknown rule id silences
+    nothing and instead yields a ``bad-suppression`` finding.
+    """
+    known = set(rule_ids())
+    silenced: Dict[int, Set[str]] = {}
+    problems: List[Finding] = []
+
+    def problem(line_number: int, column: int, message: str) -> None:
+        problems.append(
+            Finding(
+                path=module_path,
+                line=line_number,
+                column=column,
+                rule=BAD_SUPPRESSION_RULE,
+                message=message,
+            )
+        )
+
+    for index, token_column, comment in _comment_tokens(source_lines):
+        match = _SUPPRESSION_PATTERN.search(comment)
+        if match is None:
+            continue
+        column = token_column + match.start()
+        names = tuple(name.strip() for name in match.group("rules").split(",") if name.strip())
+        reason = match.group("reason")
+        if not names:
+            problem(index, column, "suppression names no rule: use ignore[rule-id]")
+            continue
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            problem(
+                index,
+                column,
+                f"suppression names unknown rule(s) {unknown}; known rules: {sorted(known)}",
+            )
+            continue
+        if not reason:
+            problem(
+                index,
+                column,
+                f"suppression of {list(names)} has no reason; "
+                "write '# repro: ignore[rule-id] -- why this line is exempt'",
+            )
+            continue
+        silenced.setdefault(index, set()).update(names)
+    return silenced, problems
+
+
+def module_path_for(path: str) -> str:
+    """Repo-relative module path, anchored at the ``repro/`` component.
+
+    ``/root/repo/src/repro/serve/batching.py`` ->
+    ``repro/serve/batching.py``.  Paths without a ``repro`` component
+    (test fixtures, scratch files) are returned with separators
+    normalised, so path-scoped rules simply never match them unless the
+    fixture names itself accordingly.
+    """
+    normalised = os.path.normpath(path).replace(os.sep, "/")
+    parts = normalised.split("/")
+    for index, part in enumerate(parts):
+        if part == "repro" and index + 1 < len(parts):
+            return "/".join(parts[index:])
+    return normalised.lstrip("./")
+
+
+def lint_source(
+    source: str, module_path: str, rules: Sequence[Rule] = ALL_RULES
+) -> List[Finding]:
+    """Lint one in-memory source blob as ``module_path``.
+
+    This is the single-file core :func:`lint_paths` loops over; tests
+    feed it fixture snippets directly.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=module_path,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                rule="syntax-error",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    source_lines = source.splitlines()
+    silenced, findings = parse_suppressions(module_path, source_lines)
+    context = FileContext(module_path=module_path, tree=tree, source_lines=source_lines)
+    for rule in rules:
+        for finding in rule.check(context):
+            if finding.rule in silenced.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def _python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, directories, names in os.walk(path):
+                directories[:] = sorted(
+                    d for d in directories if d not in {"__pycache__", ".git"}
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[str], rules: Sequence[Rule] = ALL_RULES) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directory trees)."""
+    findings: List[Finding] = []
+    for file_path in _python_files(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, module_path_for(file_path), rules))
+    return sorted(findings)

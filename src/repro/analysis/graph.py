@@ -1,0 +1,446 @@
+"""Static graph checking: prove a model is shape- and dtype-consistent.
+
+:func:`check_model` symbolically traces a :class:`~repro.nn.module.Module`
+tree with an abstract input shape — no arrays are allocated and no
+forward pass runs — and verifies, layer by layer:
+
+* **shape compatibility**: conv/linear input channels match the layer's
+  declared fan-in, spatial dims survive every stride/pool without
+  collapsing to zero, residual branches re-converge to identical shapes;
+* **parameter consistency**: stored weights actually have the shape the
+  layer's constructor arguments promise (a corrupted or mis-spliced
+  ``state_dict`` load shows up here);
+* **BN channel agreement**: every ``BatchNorm2d`` sees exactly
+  ``num_features`` channels and its affine/running buffers agree;
+* **dtype uniformity**: all parameters share one floating dtype (a
+  half-loaded float64 checkpoint inside a float32 model is an error);
+* **mask/weight agreement** (optional): a pruning mask dict maps real
+  parameter names to arrays of exactly the parameter's shape.
+
+The batch dimension is symbolic (``"N"``), so one check covers every
+batch size.  ``repro.serve`` runs this before sealing an artifact —
+an unservable model fails at export time, not at first request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.models.heads import (
+    ClassifierHead,
+    FCNSegmentationHead,
+    LinearProbe,
+    SegmentationModel,
+)
+from repro.models.resnet import BasicBlock, Bottleneck, ResNet
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Upsample,
+)
+from repro.nn.module import Module
+
+__all__ = ["GraphCheckError", "check_model", "register_handler"]
+
+#: A symbolic dimension: a concrete int or the batch placeholder ``"N"``.
+Dim = Union[int, str]
+Shape = Tuple[Dim, ...]
+
+
+class GraphCheckError(ValueError):
+    """A model failed static shape/dtype verification.
+
+    The message always names the offending module by its dotted path in
+    the tree (``backbone.layer2.layer0.conv1``).
+    """
+
+
+def _fail(path: str, module: Module, message: str) -> "GraphCheckError":
+    label = f"{path} ({type(module).__name__})" if path else type(module).__name__
+    return GraphCheckError(f"{label}: {message}")
+
+
+def _expect_rank(shape: Shape, rank: int, path: str, module: Module) -> None:
+    if len(shape) != rank:
+        raise _fail(path, module, f"expected rank-{rank} input, got shape {shape}")
+
+
+def _spatial(dim: Dim, path: str, module: Module) -> int:
+    if not isinstance(dim, int):
+        raise _fail(path, module, f"spatial dimension must be concrete, got {dim!r}")
+    return dim
+
+
+class _Tracer:
+    """Walks the module tree applying per-type shape handlers."""
+
+    def __init__(self) -> None:
+        self.checked = 0
+        self.param_dtype: Optional[np.dtype] = None
+        self.dtype_owner = ""
+
+    def trace(self, module: Module, shape: Shape, path: str) -> Shape:
+        self._check_dtypes(module, path)
+        handler = _handler_for(module)
+        if handler is None:
+            raise _fail(
+                path,
+                module,
+                "no static-shape handler registered; add one with "
+                "repro.analysis.graph.register_handler before sealing models "
+                "containing this layer type",
+            )
+        self.checked += 1
+        return handler(self, module, shape, path)
+
+    def child(self, module: Module, name: str, shape: Shape, path: str) -> Shape:
+        return self.trace(module, shape, f"{path}.{name}" if path else name)
+
+    def _check_dtypes(self, module: Module, path: str) -> None:
+        for name, parameter in module._parameters.items():
+            dtype = parameter.data.dtype
+            where = f"{path}.{name}" if path else name
+            if self.param_dtype is None:
+                self.param_dtype = dtype
+                self.dtype_owner = where
+            elif dtype != self.param_dtype:
+                raise _fail(
+                    path,
+                    module,
+                    f"parameter {name!r} is {dtype} but {self.dtype_owner} is "
+                    f"{self.param_dtype}; the tree must hold one compute dtype",
+                )
+
+
+Handler = Callable[[_Tracer, Module, Shape, str], Shape]
+
+_HANDLERS: Dict[type, Handler] = {}
+
+
+def register_handler(module_type: type) -> Callable[[Handler], Handler]:
+    """Register a static-shape handler for ``module_type`` (decorator)."""
+
+    def decorate(handler: Handler) -> Handler:
+        _HANDLERS[module_type] = handler
+        return handler
+
+    return decorate
+
+
+def _handler_for(module: Module) -> Optional[Handler]:
+    for klass in type(module).__mro__:
+        if klass in _HANDLERS:
+            return _HANDLERS[klass]
+    return None
+
+
+# ----------------------------------------------------------------------
+# Leaf layers
+# ----------------------------------------------------------------------
+@register_handler(Conv2d)
+def _trace_conv2d(tracer: _Tracer, module: Conv2d, shape: Shape, path: str) -> Shape:
+    _expect_rank(shape, 4, path, module)
+    batch, channels, height, width = shape
+    expected_weight = (
+        module.out_channels,
+        module.in_channels,
+        module.kernel_size,
+        module.kernel_size,
+    )
+    if module.weight.shape != expected_weight:
+        raise _fail(
+            path,
+            module,
+            f"weight has shape {module.weight.shape}, constructor promises {expected_weight}",
+        )
+    if module.bias is not None and module.bias.shape != (module.out_channels,):
+        raise _fail(
+            path,
+            module,
+            f"bias has shape {module.bias.shape}, expected {(module.out_channels,)}",
+        )
+    if channels != module.in_channels:
+        raise _fail(
+            path,
+            module,
+            f"input has {channels} channels, layer expects {module.in_channels}",
+        )
+    out_spatial = []
+    for name, dim in (("height", height), ("width", width)):
+        value = _spatial(dim, path, module)
+        out = (value + 2 * module.padding - module.kernel_size) // module.stride + 1
+        if out < 1:
+            raise _fail(
+                path,
+                module,
+                f"{name} {value} collapses to {out} under kernel={module.kernel_size}, "
+                f"stride={module.stride}, padding={module.padding}",
+            )
+        out_spatial.append(out)
+    return (batch, module.out_channels, out_spatial[0], out_spatial[1])
+
+
+@register_handler(BatchNorm2d)
+def _trace_batchnorm2d(tracer: _Tracer, module: BatchNorm2d, shape: Shape, path: str) -> Shape:
+    _expect_rank(shape, 4, path, module)
+    channels = shape[1]
+    if channels != module.num_features:
+        raise _fail(
+            path,
+            module,
+            f"input has {channels} channels, BN normalises {module.num_features}",
+        )
+    per_channel = (module.num_features,)
+    for name in ("weight", "bias"):
+        parameter = getattr(module, name)
+        if parameter.shape != per_channel:
+            raise _fail(
+                path, module, f"{name} has shape {parameter.shape}, expected {per_channel}"
+            )
+    for name in ("running_mean", "running_var"):
+        buffer = getattr(module, name)
+        if np.asarray(buffer).shape != per_channel:
+            raise _fail(
+                path,
+                module,
+                f"{name} has shape {np.asarray(buffer).shape}, expected {per_channel}",
+            )
+    return shape
+
+
+@register_handler(Linear)
+def _trace_linear(tracer: _Tracer, module: Linear, shape: Shape, path: str) -> Shape:
+    _expect_rank(shape, 2, path, module)
+    batch, features = shape
+    expected_weight = (module.out_features, module.in_features)
+    if module.weight.shape != expected_weight:
+        raise _fail(
+            path,
+            module,
+            f"weight has shape {module.weight.shape}, constructor promises {expected_weight}",
+        )
+    if features != module.in_features:
+        raise _fail(
+            path,
+            module,
+            f"input has {features} features, layer expects {module.in_features}",
+        )
+    return (batch, module.out_features)
+
+
+@register_handler(Identity)
+@register_handler(ReLU)
+@register_handler(Dropout)
+def _trace_passthrough(tracer: _Tracer, module: Module, shape: Shape, path: str) -> Shape:
+    return shape
+
+
+def _trace_pool(tracer: _Tracer, module: Module, shape: Shape, path: str) -> Shape:
+    _expect_rank(shape, 4, path, module)
+    batch, channels, height, width = shape
+    out_spatial = []
+    for name, dim in (("height", height), ("width", width)):
+        value = _spatial(dim, path, module)
+        if value < module.kernel_size:
+            raise _fail(
+                path,
+                module,
+                f"{name} {value} is smaller than pooling kernel {module.kernel_size}",
+            )
+        out_spatial.append((value - module.kernel_size) // module.stride + 1)
+    return (batch, channels, out_spatial[0], out_spatial[1])
+
+
+register_handler(MaxPool2d)(_trace_pool)
+register_handler(AvgPool2d)(_trace_pool)
+
+
+@register_handler(GlobalAvgPool2d)
+def _trace_global_pool(tracer: _Tracer, module: Module, shape: Shape, path: str) -> Shape:
+    _expect_rank(shape, 4, path, module)
+    return (shape[0], shape[1])
+
+
+@register_handler(Flatten)
+def _trace_flatten(tracer: _Tracer, module: Module, shape: Shape, path: str) -> Shape:
+    if len(shape) < 2:
+        raise _fail(path, module, f"expected at least rank-2 input, got {shape}")
+    flat = 1
+    for dim in shape[1:]:
+        flat *= _spatial(dim, path, module)
+    return (shape[0], flat)
+
+
+@register_handler(Upsample)
+def _trace_upsample(tracer: _Tracer, module: Upsample, shape: Shape, path: str) -> Shape:
+    _expect_rank(shape, 4, path, module)
+    batch, channels, height, width = shape
+    return (
+        batch,
+        channels,
+        _spatial(height, path, module) * module.scale,
+        _spatial(width, path, module) * module.scale,
+    )
+
+
+# ----------------------------------------------------------------------
+# Containers and blocks
+# ----------------------------------------------------------------------
+@register_handler(Sequential)
+def _trace_sequential(tracer: _Tracer, module: Sequential, shape: Shape, path: str) -> Shape:
+    for name in module._layer_names:
+        shape = tracer.child(getattr(module, name), name, shape, path)
+    return shape
+
+
+def _trace_residual(
+    tracer: _Tracer,
+    module: Module,
+    shape: Shape,
+    path: str,
+    main_branch: Sequence[str],
+) -> Shape:
+    identity = tracer.child(module.downsample, "downsample", shape, path)
+    out = shape
+    for name in main_branch:
+        out = tracer.child(getattr(module, name), name, out, path)
+    if out != identity:
+        raise _fail(
+            path,
+            module,
+            f"residual branches disagree: main path produces {out}, "
+            f"identity/downsample path produces {identity}",
+        )
+    return out
+
+
+@register_handler(BasicBlock)
+def _trace_basic_block(tracer: _Tracer, module: BasicBlock, shape: Shape, path: str) -> Shape:
+    return _trace_residual(tracer, module, shape, path, ("conv1", "bn1", "conv2", "bn2"))
+
+
+@register_handler(Bottleneck)
+def _trace_bottleneck(tracer: _Tracer, module: Bottleneck, shape: Shape, path: str) -> Shape:
+    return _trace_residual(
+        tracer, module, shape, path, ("conv1", "bn1", "conv2", "bn2", "conv3", "bn3")
+    )
+
+
+@register_handler(ResNet)
+def _trace_resnet(tracer: _Tracer, module: ResNet, shape: Shape, path: str) -> Shape:
+    out = _trace_resnet_features(tracer, module, shape, path)
+    if out[1] != module.out_features:
+        raise _fail(
+            path,
+            module,
+            f"final feature map has {out[1]} channels but out_features={module.out_features}",
+        )
+    return (out[0], module.out_features)  # global average pool
+
+
+def _trace_resnet_features(
+    tracer: _Tracer, module: ResNet, shape: Shape, path: str
+) -> Shape:
+    out = tracer.child(module.conv1, "conv1", shape, path)
+    out = tracer.child(module.bn1, "bn1", out, path)
+    for name in ("layer1", "layer2", "layer3", "layer4"):
+        out = tracer.child(getattr(module, name), name, out, path)
+    return out
+
+
+@register_handler(ClassifierHead)
+def _trace_classifier_head(
+    tracer: _Tracer, module: ClassifierHead, shape: Shape, path: str
+) -> Shape:
+    features = tracer.child(module.backbone, "backbone", shape, path)
+    return tracer.child(module.fc, "fc", features, path)
+
+
+@register_handler(LinearProbe)
+def _trace_linear_probe(tracer: _Tracer, module: LinearProbe, shape: Shape, path: str) -> Shape:
+    features = tracer.child(module.backbone, "backbone", shape, path)
+    return tracer.child(module.fc, "fc", features, path)
+
+
+@register_handler(FCNSegmentationHead)
+def _trace_fcn_head(
+    tracer: _Tracer, module: FCNSegmentationHead, shape: Shape, path: str
+) -> Shape:
+    out = tracer.child(module.conv, "conv", shape, path)
+    out = tracer.child(module.bn, "bn", out, path)
+    out = tracer.child(module.upsample, "upsample", out, path)
+    return tracer.child(module.classifier, "classifier", out, path)
+
+
+@register_handler(SegmentationModel)
+def _trace_segmentation_model(
+    tracer: _Tracer, module: SegmentationModel, shape: Shape, path: str
+) -> Shape:
+    backbone_path = f"{path}.backbone" if path else "backbone"
+    tracer._check_dtypes(module.backbone, backbone_path)
+    feature_map = _trace_resnet_features(tracer, module.backbone, shape, backbone_path)
+    tracer.checked += 1
+    return tracer.child(module.head, "head", feature_map, path)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def _check_mask(model: Module, mask: Mapping[str, np.ndarray]) -> None:
+    parameters = dict(model.named_parameters())
+    for name, values in mask.items():
+        if name not in parameters:
+            known = sorted(parameters)[:5]
+            raise GraphCheckError(
+                f"mask entry {name!r} names no parameter in the model "
+                f"(first parameters: {known}...)"
+            )
+        parameter_shape = parameters[name].shape
+        mask_shape = np.asarray(values).shape
+        if mask_shape != parameter_shape:
+            raise GraphCheckError(
+                f"mask for {name!r} has shape {mask_shape}, "
+                f"parameter has shape {parameter_shape}"
+            )
+
+
+def check_model(
+    model: Module,
+    input_shape: Sequence[int],
+    mask: Optional[Mapping[str, np.ndarray]] = None,
+) -> Dict[str, object]:
+    """Statically verify ``model`` against a symbolic batched input.
+
+    ``input_shape`` is the per-example shape **without** the batch
+    dimension — ``(3, 16, 16)`` for the CIFAR-style models here; the
+    batch is traced symbolically as ``"N"``.  Raises
+    :class:`GraphCheckError` naming the offending module on any
+    inconsistency; returns a summary dict on success::
+
+        {"input_shape": ("N", 3, 16, 16),
+         "output_shape": ("N", 10),
+         "dtype": "float32",
+         "modules_checked": 78}
+    """
+    shape: Shape = ("N",) + tuple(int(dim) for dim in input_shape)
+    tracer = _Tracer()
+    output_shape = tracer.trace(model, shape, "")
+    if mask is not None:
+        _check_mask(model, mask)
+    return {
+        "input_shape": shape,
+        "output_shape": output_shape,
+        "dtype": tracer.param_dtype.name if tracer.param_dtype is not None else None,
+        "modules_checked": tracer.checked,
+    }

@@ -1,0 +1,32 @@
+"""Runtime numeric sanitizer — the analysis-facing surface.
+
+The implementation lives in :mod:`repro.tensor.sanitize` (it must be
+importable from inside the tensor engine without touching this package,
+which transitively imports models); this module re-exports it so user
+code can treat ``repro.analysis`` as the single home of all three
+checking layers — lint, graph, sanitize::
+
+    from repro.analysis import sanitize_scope
+
+    with sanitize_scope():
+        model(batch)   # raises SanitizeError naming op + layer on NaN/Inf
+
+Set ``REPRO_SANITIZE=1`` to switch the sanitizer on process-wide
+(the tier-1 CI test run does exactly this).
+"""
+
+from repro.tensor.sanitize import (
+    SanitizeError,
+    current_layer_path,
+    is_sanitize_active,
+    sanitize_scope,
+    set_sanitize,
+)
+
+__all__ = [
+    "SanitizeError",
+    "current_layer_path",
+    "is_sanitize_active",
+    "sanitize_scope",
+    "set_sanitize",
+]

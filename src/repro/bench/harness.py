@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.bench.calibrate import Calibration, calibrate
 from repro.bench.spec import BenchSpec
+from repro.tensor.dtypes import ACCUMULATION_DTYPE
 from repro.utils.checkpoint import staging_path
 from repro.utils.timing import best_wall  # noqa: F401  (re-export: ad-hoc paired timings)
 
@@ -95,7 +96,7 @@ def measure(spec: BenchSpec, calibration: Calibration) -> BenchResult:
             raise KeyError(f"benchmark {spec.name!r} payload omitted declared metrics {missing}")
         metrics = {key: returned[key] for key in spec.metrics}
 
-    wall = np.asarray(times, dtype=np.float64)
+    wall = np.asarray(times, dtype=ACCUMULATION_DTYPE)
     median = float(np.median(wall))
     return BenchResult(
         spec=spec.name,

@@ -247,8 +247,8 @@ _SERVE_REQUESTS = 64
 
 def _serve_setup() -> Dict[str, Any]:
     rng = np.random.default_rng(0)
-    weight = rng.standard_normal((256, 64)).astype(np.float32)
-    samples = rng.standard_normal((_SERVE_CLIENTS * _SERVE_REQUESTS, 256)).astype(np.float32)
+    weight = rng.standard_normal((256, 64)).astype(np.float32)  # repro: ignore[dtype-literal] -- fixed benchmark workload; baselines were recorded at float32
+    samples = rng.standard_normal((_SERVE_CLIENTS * _SERVE_REQUESTS, 256)).astype(np.float32)  # repro: ignore[dtype-literal] -- fixed benchmark workload; baselines were recorded at float32
 
     def batch_fn(batch: np.ndarray) -> np.ndarray:
         return batch @ weight

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.dtypes import ACCUMULATION_DTYPE
+
 
 def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
     """Numerically stable softmax over the last axis."""
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = np.asarray(logits, dtype=ACCUMULATION_DTYPE)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=-1, keepdims=True)
@@ -50,7 +52,7 @@ def expected_calibration_error(
     labels = np.asarray(labels, dtype=np.int64)
     confidences = probabilities.max(axis=-1)
     predictions = probabilities.argmax(axis=-1)
-    correct = (predictions == labels).astype(np.float64)
+    correct = (predictions == labels).astype(ACCUMULATION_DTYPE)
 
     bin_edges = np.linspace(0.0, 1.0, num_bins + 1)
     ece = 0.0

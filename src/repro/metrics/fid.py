@@ -20,6 +20,7 @@ from scipy import linalg
 from repro.data.dataset import ArrayDataset
 from repro.models.resnet import resnet18
 from repro.tensor import Tensor, no_grad
+from repro.tensor.dtypes import ACCUMULATION_DTYPE
 
 
 class RandomFeatureEmbedder:
@@ -50,10 +51,10 @@ def frechet_distance(
 
     ``d^2 = ||mu_a - mu_b||^2 + Tr(C_a + C_b - 2 (C_a C_b)^{1/2})``
     """
-    mean_a = np.atleast_1d(np.asarray(mean_a, dtype=np.float64))
-    mean_b = np.atleast_1d(np.asarray(mean_b, dtype=np.float64))
-    cov_a = np.atleast_2d(np.asarray(cov_a, dtype=np.float64))
-    cov_b = np.atleast_2d(np.asarray(cov_b, dtype=np.float64))
+    mean_a = np.atleast_1d(np.asarray(mean_a, dtype=ACCUMULATION_DTYPE))
+    mean_b = np.atleast_1d(np.asarray(mean_b, dtype=ACCUMULATION_DTYPE))
+    cov_a = np.atleast_2d(np.asarray(cov_a, dtype=ACCUMULATION_DTYPE))
+    cov_b = np.atleast_2d(np.asarray(cov_b, dtype=ACCUMULATION_DTYPE))
     if mean_a.shape != mean_b.shape:
         raise ValueError("mean vectors must have the same shape")
 

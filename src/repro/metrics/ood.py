@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.metrics.classification import softmax_probabilities
+from repro.tensor.dtypes import ACCUMULATION_DTYPE
 
 
 def max_softmax_score(logits: np.ndarray) -> np.ndarray:
@@ -26,15 +27,15 @@ def roc_auc(scores_positive: np.ndarray, scores_negative: np.ndarray) -> float:
     class and ``scores_negative`` of the negative (OoD) class; ties
     contribute 1/2, making the estimator exact.
     """
-    positive = np.asarray(scores_positive, dtype=np.float64).reshape(-1)
-    negative = np.asarray(scores_negative, dtype=np.float64).reshape(-1)
+    positive = np.asarray(scores_positive, dtype=ACCUMULATION_DTYPE).reshape(-1)
+    negative = np.asarray(scores_negative, dtype=ACCUMULATION_DTYPE).reshape(-1)
     if positive.size == 0 or negative.size == 0:
         raise ValueError("both score arrays must be non-empty")
     combined = np.concatenate([positive, negative])
     # Midranks handle ties exactly.
     order = combined.argsort(kind="mergesort")
     ranks = np.empty_like(combined)
-    ranks[order] = np.arange(1, len(combined) + 1, dtype=np.float64)
+    ranks[order] = np.arange(1, len(combined) + 1, dtype=ACCUMULATION_DTYPE)
     sorted_combined = combined[order]
     # Average ranks over tied groups.
     unique_values, inverse, counts = np.unique(

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.dtypes import ACCUMULATION_DTYPE
+
 
 def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
     """Pixel-level confusion matrix of shape ``(num_classes, num_classes)``.
@@ -24,7 +26,7 @@ def mean_iou(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> f
     """Mean intersection-over-union across classes (classes absent from both
     prediction and ground truth are excluded from the mean)."""
     matrix = confusion_matrix(predictions, labels, num_classes)
-    intersection = np.diag(matrix).astype(np.float64)
+    intersection = np.diag(matrix).astype(ACCUMULATION_DTYPE)
     union = matrix.sum(axis=0) + matrix.sum(axis=1) - np.diag(matrix)
     present = union > 0
     if not present.any():

@@ -18,6 +18,7 @@ from typing import Dict, Iterator, List, Tuple
 import numpy as np
 
 from repro.tensor import Tensor, default_dtype
+from repro.tensor import sanitize as _sanitize
 
 
 class Parameter(Tensor):
@@ -83,7 +84,29 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        if not _sanitize.is_sanitize_active():
+            return self.forward(*args, **kwargs)
+        return self._sanitized_call(*args, **kwargs)
+
+    def _sanitized_call(self, *args, **kwargs):
+        """Forward pass with NaN/Inf checks and module-path attribution.
+
+        Children are annotated with the attribute name they are mounted
+        under just before the forward runs, so a sanitizer error deep in
+        the tree reports a dotted path (``backbone.layer1.layer0.conv1``)
+        rather than a bare class name.
+        """
+        for name, child in self._modules.items():
+            object.__setattr__(child, "_sanitize_name", name)
+        own_name = getattr(self, "_sanitize_name", None) or type(self).__name__
+        _sanitize.push_layer(own_name, type(self).__name__)
+        try:
+            out = self.forward(*args, **kwargs)
+            if isinstance(out, Tensor):
+                _sanitize.check_module_output(out.data)
+            return out
+        finally:
+            _sanitize.pop_layer()
 
     # ------------------------------------------------------------------
     # Traversal

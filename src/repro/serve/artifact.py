@@ -337,6 +337,23 @@ def export_artifact(
             "the fused evaluation graph of a ClassifierHead-shaped model"
         )
     sealed = fuse(model)
+
+    # Static graph check: prove the sealed graph is shape- and
+    # dtype-consistent (and the mask matches its parameters) *before*
+    # anything is written.  An unservable model fails here, at export
+    # time, instead of at the first request against a live engine.
+    # Imported lazily — repro.analysis imports the model zoo, and the
+    # artifact module must stay importable from the tensor layer up.
+    from repro.analysis.graph import check_model
+
+    spec = preprocessing if preprocessing is not None else default_preprocessing()
+    size = int(spec.get("image_size", 16))
+    check_model(
+        sealed,
+        (int(spec.get("channels", 3)), size, size),
+        mask=mask.as_dict() if mask is not None else None,
+    )
+
     state = sealed.state_dict()
     dtypes = {str(value.dtype) for value in state.values()}
     if len(dtypes) != 1:

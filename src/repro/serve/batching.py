@@ -29,6 +29,7 @@ no locking no matter how many client threads submit concurrently.
 
 from __future__ import annotations
 
+import collections
 import queue
 import threading
 import time
@@ -37,7 +38,14 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.tensor.dtypes import ACCUMULATION_DTYPE
+
 __all__ = ["BatchingConfig", "BatchStats", "MicroBatcher"]
+
+#: Ring-buffer size for per-request latency samples.  Percentiles are
+#: computed over the most recent window, so a long-lived server reports
+#: current behaviour rather than its lifetime average.
+LATENCY_WINDOW = 2048
 
 
 @dataclass(frozen=True)
@@ -88,7 +96,7 @@ class BatchStats:
 class _Pending:
     """One in-flight request: its rows plus the caller's completion gate."""
 
-    __slots__ = ("inputs", "rows", "done", "result", "error")
+    __slots__ = ("inputs", "rows", "done", "result", "error", "enqueued")
 
     def __init__(self, inputs: np.ndarray) -> None:
         self.inputs = inputs
@@ -96,6 +104,7 @@ class _Pending:
         self.done = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
+        self.enqueued = time.perf_counter()
 
 
 class MicroBatcher:
@@ -115,6 +124,7 @@ class MicroBatcher:
         self.config = config if config is not None else BatchingConfig()
         self._queue: "queue.SimpleQueue[Optional[_Pending]]" = queue.SimpleQueue()
         self._stats = BatchStats()
+        self._latencies_s: "collections.deque[float]" = collections.deque(maxlen=LATENCY_WINDOW)
         self._stats_lock = threading.Lock()
         # Makes enqueueing and the shutdown sentinel mutually exclusive:
         # no request can slip into the queue *behind* the sentinel and
@@ -143,9 +153,26 @@ class MicroBatcher:
         return pending.result
 
     def stats(self) -> Dict[str, float]:
-        """A snapshot of the scheduler's counters."""
+        """A snapshot of the scheduler's counters and latency percentiles.
+
+        ``latency_p50_ms`` / ``latency_p99_ms`` cover the most recent
+        :data:`LATENCY_WINDOW` requests, measured submit-to-result on
+        the monotonic clock.  The whole snapshot — counters *and* the
+        latency window copy — is taken under ``_stats_lock``, so the
+        percentiles always describe the same set of requests as the
+        counters next to them.
+        """
         with self._stats_lock:
-            return self._stats.as_dict()
+            snapshot = self._stats.as_dict()
+            samples = tuple(self._latencies_s)
+        if samples:
+            window = np.asarray(samples, dtype=ACCUMULATION_DTYPE) * 1000.0
+            snapshot["latency_p50_ms"] = round(float(np.percentile(window, 50)), 4)
+            snapshot["latency_p99_ms"] = round(float(np.percentile(window, 99)), 4)
+        else:
+            snapshot["latency_p50_ms"] = 0.0
+            snapshot["latency_p99_ms"] = 0.0
+        return snapshot
 
     def close(self, timeout: float = 10.0) -> None:
         """Stop the scheduler thread; queued requests are still served.
@@ -172,7 +199,7 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def _run(self) -> None:
         while True:
-            head = self._queue.get()
+            head = self._queue.get()  # repro: ignore[lock-discipline] -- SimpleQueue is thread-safe; the scheduler consumes lock-free by design
             if head is None:
                 return
             window = [head]
@@ -184,7 +211,7 @@ class MicroBatcher:
                 if remaining <= 0:
                     break
                 try:
-                    item = self._queue.get(timeout=remaining)
+                    item = self._queue.get(timeout=remaining)  # repro: ignore[lock-discipline] -- SimpleQueue is thread-safe; the scheduler consumes lock-free by design
                 except queue.Empty:
                     break
                 if item is None:
@@ -218,6 +245,7 @@ class MicroBatcher:
         # Counters land *before* any caller wakes: a ``stats()`` read
         # right after ``submit`` returns always includes the window
         # that served the request.
+        completed = time.perf_counter()
         with self._stats_lock:
             self._stats.requests += len(window)
             self._stats.rows += rows
@@ -228,5 +256,7 @@ class MicroBatcher:
             self._stats.batch_rows_max = max(self._stats.batch_rows_max, rows)
             if failed:
                 self._stats.errors += 1
+            for pending in window:
+                self._latencies_s.append(completed - pending.enqueued)
         for pending in window:
             pending.done.set()

@@ -30,6 +30,7 @@ import numpy as np
 from repro.serve.artifact import ModelArtifact, load_artifact
 from repro.serve.batching import BatchingConfig, MicroBatcher
 from repro.tensor.dtypes import default_dtype_scope
+from repro.tensor.sanitize import sanitize_scope
 from repro.training.evaluation import predict_logits
 
 __all__ = ["EngineConfig", "ServingEngine"]
@@ -45,6 +46,11 @@ class EngineConfig:
     max_wait_ms: float = 2.0
     #: Chunk size of the forward pass (matches ``predict_logits``).
     eval_batch_size: int = 64
+    #: Run the numeric sanitizer on the scheduler thread: every serving
+    #: forward raises (and the error is delivered to the waiting caller)
+    #: if it produces NaN/Inf, naming the offending op and layer.  Off
+    #: by default — the checks cost one ``isfinite`` reduction per op.
+    sanitize: bool = False
 
     def batching(self) -> BatchingConfig:
         return BatchingConfig(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
@@ -139,6 +145,14 @@ class ServingEngine:
         # precision without perturbing other threads, so engines sealed
         # under different dtypes serve concurrently.
         with default_dtype_scope(self._dtype):
+            if self.config.sanitize:
+                # Opt in for this engine's forwards only.  Without the
+                # flag the ambient setting (REPRO_SANITIZE) still
+                # applies — the engine never vetoes a global sanitize.
+                with sanitize_scope():
+                    return predict_logits(
+                        self.model, batch, batch_size=self.config.eval_batch_size, fused=False
+                    )
             return predict_logits(
                 self.model, batch, batch_size=self.config.eval_batch_size, fused=False
             )

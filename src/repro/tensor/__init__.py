@@ -25,7 +25,18 @@ Functional operations
     :mod:`repro.tensor.functional` and :mod:`repro.tensor.conv`.
 """
 
-from repro.tensor.dtypes import default_dtype, default_dtype_scope, set_default_dtype
+from repro.tensor.dtypes import (
+    ACCUMULATION_DTYPE,
+    default_dtype,
+    default_dtype_scope,
+    set_default_dtype,
+)
+from repro.tensor.sanitize import (
+    SanitizeError,
+    is_sanitize_active,
+    sanitize_scope,
+    set_sanitize,
+)
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
 from repro.tensor.functional import (
     batch_norm2d,
@@ -56,9 +67,14 @@ from repro.tensor.conv import (
 
 __all__ = [
     "Tensor",
+    "ACCUMULATION_DTYPE",
     "default_dtype",
     "default_dtype_scope",
     "set_default_dtype",
+    "SanitizeError",
+    "is_sanitize_active",
+    "sanitize_scope",
+    "set_sanitize",
     "no_grad",
     "is_grad_enabled",
     "as_tensor",

@@ -37,6 +37,7 @@ import threading
 import numpy as np
 
 __all__ = [
+    "ACCUMULATION_DTYPE",
     "FACTORY_DEFAULT_DTYPE",
     "SUPPORTED_DTYPES",
     "default_dtype",
@@ -49,6 +50,15 @@ SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 #: The dtype used when neither the environment nor the caller picks one.
 FACTORY_DEFAULT_DTYPE = np.dtype(np.float32)
+
+#: Statistics accumulate in double precision regardless of the compute
+#: dtype: metric reductions (ECE bins, AUROC midranks, FID covariance
+#: square roots) and benchmark timing aggregation are tiny next to a
+#: forward pass but numerically fragile, so they always run ``float64``.
+#: This is the one sanctioned way to name double precision outside this
+#: module — the ``dtype-literal`` lint rule rejects bare ``np.float64``
+#: everywhere else.
+ACCUMULATION_DTYPE = np.dtype(np.float64)
 
 _ENV_VAR = "REPRO_DEFAULT_DTYPE"
 

@@ -19,6 +19,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.tensor import sanitize as _sanitize
 from repro.tensor.dtypes import default_dtype
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -175,6 +176,7 @@ class Tensor:
         backward_fn: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
+        _sanitize.check_forward(data, op)
         requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not requires_grad:
             return Tensor(data, requires_grad=False)
@@ -189,6 +191,7 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         """Accumulate ``grad`` into this tensor's ``.grad`` buffer."""
         grad = np.asarray(grad, dtype=self.data.dtype if self.data.dtype.kind == "f" else default_dtype())
+        _sanitize.check_gradient(grad, self._op or "leaf")
         if self.grad is None:
             self.grad = grad.copy() if grad.base is not None or grad.flags.writeable is False else grad
         else:

@@ -1,0 +1,183 @@
+"""Static graph checker: passes every registry model (plain, fused,
+masked, every head) and rejects deliberately broken graphs with errors
+naming the offending module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.graph import GraphCheckError, check_model
+from repro.models.heads import ClassifierHead, LinearProbe, SegmentationModel
+from repro.models.registry import available_models, build_model
+from repro.models.resnet import resnet18
+from repro.nn.fuse import fuse
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, MaxPool2d, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+from repro.pruning.mask import magnitude_mask
+from repro.utils.seeding import seeded_rng
+
+INPUT_SHAPE = (3, 16, 16)
+WIDTH = 4
+
+
+@pytest.fixture(params=available_models())
+def registry_backbone(request):
+    return request.param, build_model(request.param, base_width=WIDTH)
+
+
+class TestRegistryModelsPass:
+    def test_backbone_and_classifier_head(self, registry_backbone):
+        name, backbone = registry_backbone
+        summary = check_model(ClassifierHead(backbone, num_classes=7), INPUT_SHAPE)
+        assert summary["output_shape"] == ("N", 7)
+        assert summary["input_shape"] == ("N",) + INPUT_SHAPE
+        assert summary["modules_checked"] > 10
+
+    def test_fused_eval_copy(self, registry_backbone):
+        name, backbone = registry_backbone
+        model = ClassifierHead(backbone, num_classes=7)
+        summary = check_model(fuse(model), INPUT_SHAPE)
+        assert summary["output_shape"] == ("N", 7)
+
+    def test_linear_probe(self, registry_backbone):
+        name, backbone = registry_backbone
+        summary = check_model(LinearProbe(backbone, num_classes=5), INPUT_SHAPE)
+        assert summary["output_shape"] == ("N", 5)
+
+    def test_segmentation_model_recovers_input_resolution(self, registry_backbone):
+        name, backbone = registry_backbone
+        summary = check_model(SegmentationModel(backbone, num_classes=4), INPUT_SHAPE)
+        assert summary["output_shape"] == ("N", 4, 16, 16)
+
+    def test_dtype_reported(self, registry_backbone):
+        name, backbone = registry_backbone
+        summary = check_model(backbone, INPUT_SHAPE)
+        assert summary["dtype"] == str(backbone.conv1.weight.data.dtype)
+
+
+class TestMaskAgreement:
+    def test_matching_mask_passes(self):
+        backbone = resnet18(base_width=WIDTH)
+        model = ClassifierHead(backbone, num_classes=3)
+        mask = magnitude_mask(backbone, sparsity=0.5).add_prefix("backbone.")
+        summary = check_model(model, INPUT_SHAPE, mask=mask.as_dict())
+        assert summary["output_shape"] == ("N", 3)
+
+    def test_mask_with_unknown_parameter_rejected(self):
+        model = ClassifierHead(resnet18(base_width=WIDTH), num_classes=3)
+        with pytest.raises(GraphCheckError, match="no parameter"):
+            check_model(
+                model, INPUT_SHAPE, mask={"backbone.nonexistent.weight": np.ones((2, 2))}
+            )
+
+    def test_mask_with_wrong_shape_rejected(self):
+        backbone = resnet18(base_width=WIDTH)
+        model = ClassifierHead(backbone, num_classes=3)
+        mask = magnitude_mask(backbone, sparsity=0.5).add_prefix("backbone.")
+        broken = dict(mask.as_dict())
+        name = sorted(broken)[0]
+        broken[name] = np.ones((1, 1), dtype=np.uint8)
+        with pytest.raises(GraphCheckError, match=name.replace(".", r"\.")):
+            check_model(model, INPUT_SHAPE, mask=broken)
+
+
+class TestBrokenGraphsRejected:
+    def test_channel_mismatch_names_the_layer(self):
+        rng = seeded_rng(0)
+        model = Sequential(
+            Conv2d(3, 8, 3, padding=1, rng=rng),
+            Conv2d(16, 4, 3, padding=1, rng=rng),  # expects 16, gets 8
+        )
+        with pytest.raises(GraphCheckError, match=r"layer1 \(Conv2d\)"):
+            check_model(model, INPUT_SHAPE)
+
+    def test_bn_channel_disagreement_rejected(self):
+        rng = seeded_rng(0)
+        model = Sequential(Conv2d(3, 8, 3, padding=1, rng=rng), BatchNorm2d(4))
+        with pytest.raises(GraphCheckError, match="BN normalises 4"):
+            check_model(model, INPUT_SHAPE)
+
+    def test_corrupted_weight_storage_rejected(self):
+        # A mis-spliced state load: constructor metadata says (out, in,
+        # k, k) but the stored array disagrees.
+        rng = seeded_rng(0)
+        conv = Conv2d(3, 8, 3, padding=1, rng=rng)
+        conv.weight = Parameter(np.zeros((8, 3, 5, 5)))
+        with pytest.raises(GraphCheckError, match="constructor promises"):
+            check_model(Sequential(conv), INPUT_SHAPE)
+
+    def test_linear_fan_in_mismatch_rejected(self):
+        backbone = resnet18(base_width=WIDTH)
+        model = ClassifierHead(backbone, num_classes=3)
+        model.fc = Linear(backbone.out_features + 1, 3, rng=seeded_rng(0))
+        with pytest.raises(GraphCheckError, match=r"fc \(Linear\)"):
+            check_model(model, INPUT_SHAPE)
+
+    def test_residual_branch_disagreement_rejected(self):
+        backbone = resnet18(base_width=WIDTH)
+        # Break one block's downsample path so the branches re-converge
+        # at different channel counts.
+        block = backbone.layer2[0]
+        block.downsample = Sequential(
+            Conv2d(WIDTH, WIDTH, 1, stride=2, bias=False, rng=seeded_rng(0))
+        )
+        with pytest.raises(GraphCheckError):
+            check_model(backbone, INPUT_SHAPE)
+
+    def test_spatial_collapse_rejected(self):
+        rng = seeded_rng(0)
+        model = Sequential(
+            Conv2d(3, 4, 3, rng=rng),  # 16 -> 14
+            MaxPool2d(2), MaxPool2d(2), MaxPool2d(2),  # 14 -> 7 -> 3 -> 1
+            MaxPool2d(2),  # 1 < kernel 2
+        )
+        with pytest.raises(GraphCheckError, match="smaller than pooling kernel"):
+            check_model(model, INPUT_SHAPE)
+
+    def test_mixed_parameter_dtypes_rejected(self):
+        model = ClassifierHead(resnet18(base_width=WIDTH), num_classes=3)
+        fc_weight = model.fc.weight
+        other = np.float32 if fc_weight.data.dtype == np.float64 else np.float64
+        fc_weight.data = fc_weight.data.astype(other)
+        with pytest.raises(GraphCheckError, match="one compute dtype"):
+            check_model(model, INPUT_SHAPE)
+
+    def test_unknown_module_type_is_an_error_not_a_pass(self):
+        class Mystery(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(GraphCheckError, match="no static-shape handler"):
+            check_model(Sequential(ReLU(), Mystery()), INPUT_SHAPE)
+
+
+class TestExportIntegration:
+    def test_export_artifact_rejects_shape_broken_model(self, tmp_path):
+        from repro.serve.artifact import export_artifact
+
+        backbone = resnet18(base_width=WIDTH)
+        model = ClassifierHead(backbone, num_classes=3)
+        model.fc = Linear(backbone.out_features + 1, 3, rng=seeded_rng(0))
+        with pytest.raises(GraphCheckError):
+            export_artifact(
+                model,
+                str(tmp_path / "broken"),
+                model_name="resnet18",
+                base_width=WIDTH,
+                num_classes=3,
+            )
+        assert list(tmp_path.iterdir()) == []  # nothing written
+
+    def test_export_artifact_still_seals_valid_models(self, tmp_path):
+        from repro.serve.artifact import export_artifact, load_artifact
+
+        model = ClassifierHead(resnet18(base_width=WIDTH), num_classes=3)
+        path = export_artifact(
+            model,
+            str(tmp_path / "ok"),
+            model_name="resnet18",
+            base_width=WIDTH,
+            num_classes=3,
+        )
+        assert load_artifact(path).num_classes == 3

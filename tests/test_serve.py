@@ -240,6 +240,68 @@ class TestMicroBatcher:
         with pytest.raises(RuntimeError, match="closed"):
             batcher.submit(np.ones((1, 1)))
 
+    def test_stats_report_latency_percentiles(self):
+        with MicroBatcher(lambda batch: batch, BatchingConfig(max_wait_ms=0.0)) as batcher:
+            empty = batcher.stats()
+            assert empty["latency_p50_ms"] == 0.0 and empty["latency_p99_ms"] == 0.0
+            for _ in range(8):
+                batcher.submit(np.ones((2, 2)))
+            stats = batcher.stats()
+        assert stats["latency_p50_ms"] > 0.0
+        assert stats["latency_p99_ms"] >= stats["latency_p50_ms"]
+
+    def test_concurrent_submit_and_stats_hammer_under_sanitizer(self):
+        # Regression for stats/scheduler races: submitters and stats
+        # readers hammer the batcher from many threads while the numeric
+        # sanitizer instruments the (tensor-engine) batch function.  Any
+        # torn read of the latency window or counters — or a sanitizer
+        # frame leaking across the scheduler thread — shows up here.
+        from repro.tensor import Tensor
+        from repro.tensor.sanitize import sanitize_scope
+
+        def batch_fn(batch):
+            with sanitize_scope():
+                return (Tensor(batch) * 2.0).data
+
+        submitters, per_thread = 6, 25
+        errors = []
+        stop = threading.Event()
+
+        def submitter(index):
+            try:
+                for i in range(per_thread):
+                    payload = np.full((1 + (i % 3), 2), float(index))
+                    np.testing.assert_array_equal(
+                        batcher.submit(payload), payload * 2.0
+                    )
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                errors.append(error)
+
+        def stats_reader():
+            try:
+                while not stop.is_set():
+                    stats = batcher.stats()
+                    assert stats["latency_p99_ms"] >= stats["latency_p50_ms"] >= 0.0
+                    assert stats["requests"] >= stats["batches"]
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                errors.append(error)
+
+        with MicroBatcher(batch_fn, BatchingConfig(max_batch=8, max_wait_ms=1.0)) as batcher:
+            threads = [threading.Thread(target=submitter, args=(i,)) for i in range(submitters)]
+            threads += [threading.Thread(target=stats_reader) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads[:submitters]:
+                thread.join()
+            stop.set()
+            for thread in threads[submitters:]:
+                thread.join()
+            final = batcher.stats()
+        assert errors == []
+        assert final["requests"] == submitters * per_thread
+        assert final["errors"] == 0
+        assert final["latency_p50_ms"] > 0.0
+
 
 class TestServingEngine:
     @pytest.fixture(scope="class")
@@ -304,6 +366,25 @@ class TestServingEngine:
         engine.close()
         with pytest.raises(RuntimeError, match="closed"):
             engine.predict(np.zeros((1, 3, 16, 16)))
+
+    def test_sanitize_flag_surfaces_numeric_faults_to_the_caller(self, sealed, images):
+        from repro.tensor.sanitize import SanitizeError
+
+        with ServingEngine(
+            sealed[0], EngineConfig(max_wait_ms=0.0, sanitize=True)
+        ) as engine:
+            # Clean traffic serves normally with checks on.
+            assert engine.predict(images).shape == (len(images), 5)
+            # Poison a deep weight: the sanitizer error is raised on the
+            # scheduler thread and delivered to the waiting caller, and
+            # the message names the culprit layer.
+            layer = engine.model.backbone.layer2[0].conv1
+            layer.weight.data[0, 0, 0, 0] = np.nan
+            with pytest.raises(SanitizeError, match=r"backbone\.layer2"):
+                engine.predict(images)
+            # The scheduler survives and keeps serving after the fault.
+            layer.weight.data[0, 0, 0, 0] = 0.0
+            assert engine.predict(images).shape == (len(images), 5)
 
 
 class TestModelStore:
