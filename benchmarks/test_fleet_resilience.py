@@ -1,0 +1,167 @@
+"""Chaos load benchmark for the supervised serving fleet.
+
+Seals a robust OMP ticket (plus a trained linear head) from the shared
+benchmark context into a ``repro-model/v1`` artifact, boots a 2-shard
+:class:`~repro.serve.fleet.FleetSupervisor`, and drives concurrent
+single-sample clients through it while a deterministic chaos hook
+(``kill-shard``) takes one worker process down mid-load.
+
+The contract under test is the fleet's headline claim — **zero
+accepted-request loss**: every request either completes with correct
+shape or was never admitted.  The report records per-request latency
+percentiles for the chaotic run (failover pauses included), the
+supervisor's counters (crashes, reroutes, restarts), and lands in
+``BENCH_fleet.json`` (override the location with the
+``REPRO_BENCH_FLEET`` environment variable).  The p99 must stay inside
+a budget that covers one shard respawn — failover may pause a tail
+request, but never strand it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.transfer import linear_evaluation
+from repro.serve import EngineConfig, FleetConfig, FleetSupervisor, export_artifact
+
+#: Load profile: enough requests that the kill lands mid-stream with
+#: traffic still arriving, small enough for a CI chaos job.
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 25
+
+SPARSITY = 0.8
+
+#: Shard 0 exits (``os._exit``) right before answering its Nth request:
+#: roughly halfway through its share of the load.
+KILL_AFTER = 50
+
+#: Tail budget: one full shard respawn (process start + warm artifact
+#: load) plus scheduling slack.  Failover parks and re-routes the dead
+#: shard's in-flight requests, so the p99 absorbs the restart pause.
+P99_BUDGET_MS = 15_000.0
+
+
+def _run_load(fleet: FleetSupervisor, samples, clients: int, per_client: int):
+    """Drive ``clients`` threads of single-sample requests through the pool."""
+    latencies = [[] for _ in range(clients)]
+    losses = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(index: int) -> None:
+        barrier.wait()
+        for request in range(per_client):
+            sample = samples[(index * per_client + request) % len(samples)]
+            begin = time.perf_counter()
+            try:
+                logits = fleet.predict(sample[None])
+            except Exception as error:  # noqa: BLE001 - any error is a lost request
+                losses.append(error)
+                return
+            latencies[index].append(time.perf_counter() - begin)
+            if logits.shape[0] != 1:
+                losses.append(AssertionError(f"bad logits shape {logits.shape}"))
+                return
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+    flat = [latency for per_thread in latencies for latency in per_thread]
+    return flat, losses, elapsed
+
+
+def _summary(latencies, elapsed: float) -> dict:
+    array = np.asarray(latencies)
+    return {
+        "requests": int(array.size),
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(array.size / elapsed, 2),
+        "latency_p50_ms": round(float(np.percentile(array, 50)) * 1000.0, 3),
+        "latency_p99_ms": round(float(np.percentile(array, 99)) * 1000.0, 3),
+    }
+
+
+def test_fleet_survives_shard_death_with_zero_loss(context, tmp_path, run_once):
+    pipeline = context.pipeline("resnet18")
+    task = context.task("cifar10")
+    ticket = pipeline.draw_omp_ticket("robust", SPARSITY)
+    head = linear_evaluation(
+        ticket, task, epochs=context.scale.linear_epochs, seed=context.scale.seed, keep_model=True
+    )
+    artifact_path = export_artifact(
+        ticket,
+        str(tmp_path / "fleet_model.npz"),
+        num_classes=task.num_classes,
+        head=head.model,
+        provenance={"experiment": "bench-fleet", "head_accuracy": head.score},
+        seed=context.scale.seed,
+    )
+    samples = task.test.images
+
+    def measure() -> dict:
+        config = FleetConfig(
+            shards=2,
+            engine=EngineConfig(max_batch=CLIENTS, max_wait_ms=5.0),
+            chaos=f"kill-shard:shard=0,after={KILL_AFTER}",
+        )
+        with FleetSupervisor({"model": artifact_path}, config, default_model="model") as fleet:
+            latencies, losses, elapsed = _run_load(
+                fleet, samples, clients=CLIENTS, per_client=REQUESTS_PER_CLIENT
+            )
+            stats = fleet.stats()
+            shards = fleet.shard_states()
+        return {
+            "format": "repro-fleet-bench/v1",
+            "artifact": {
+                "sparsity": SPARSITY,
+                "model": "resnet18",
+                "task": task.name,
+                "head_accuracy": round(head.score, 4),
+            },
+            "workload": {
+                "clients": CLIENTS,
+                "requests_per_client": REQUESTS_PER_CLIENT,
+                "rows_per_request": 1,
+                "chaos": f"kill-shard:shard=0,after={KILL_AFTER}",
+            },
+            "chaotic": _summary(latencies, elapsed),
+            "losses": len(losses),
+            "loss_examples": [repr(error) for error in losses[:3]],
+            "fleet": stats,
+            "shards": shards,
+        }
+
+    report = run_once(measure)
+    output = os.environ.get("REPRO_BENCH_FLEET", "BENCH_fleet.json")
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print()
+    print(json.dumps(report, indent=2))
+
+    fleet_stats = report["fleet"]
+    assert fleet_stats["crashes"] >= 1, "the chaos kill never fired; nothing was tested"
+    assert report["losses"] == 0, (
+        f"fleet dropped {report['losses']} accepted request(s): {report['loss_examples']}"
+    )
+    assert report["chaotic"]["requests"] == CLIENTS * REQUESTS_PER_CLIENT
+    assert fleet_stats["completed"] == fleet_stats["accepted"], (
+        f"accepted != completed under failover: {fleet_stats}"
+    )
+    assert fleet_stats["rerouted"] >= 1, (
+        "the kill landed between requests; raise the load or lower KILL_AFTER "
+        f"(stats: {fleet_stats})"
+    )
+    assert report["chaotic"]["latency_p99_ms"] <= P99_BUDGET_MS, (
+        f"failover tail blew the budget: p99 {report['chaotic']['latency_p99_ms']}ms "
+        f"> {P99_BUDGET_MS}ms"
+    )

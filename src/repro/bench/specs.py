@@ -12,6 +12,8 @@ pytest benchmark suite under ``benchmarks/``.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import threading
 import time
 from typing import Any, Dict
@@ -20,11 +22,15 @@ import numpy as np
 
 from repro.bench.spec import BenchSpec, register
 from repro.core.parallel import SweepRunner
+from repro.core.tickets import Ticket
 from repro.models.heads import ClassifierHead
 from repro.models.resnet import resnet18, resnet50
 from repro.nn.fuse import fuse
 from repro.pruning.mask import magnitude_mask
+from repro.serve.artifact import export_artifact
 from repro.serve.batching import BatchingConfig, MicroBatcher
+from repro.serve.engine import EngineConfig
+from repro.serve.fleet import FleetConfig, FleetSupervisor
 from repro.tensor import Tensor, conv2d, cross_entropy, no_grad
 
 
@@ -303,6 +309,104 @@ register(
         # Bound by thread handoffs and the max_wait_ms window, which do
         # not scale with CPU speed — gate on raw seconds, not on
         # calibration-normalised units.
+        timebase="wall",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# serve.fleet_resilience — failover under injected shard death
+# ----------------------------------------------------------------------
+_FLEET_CLIENTS = 4
+_FLEET_REQUESTS = 16  # per client
+_FLEET_KILL_AFTER = 10  # shard 0 dies mid-load (chaos re-arms per incarnation)
+
+
+def _fleet_setup() -> Dict[str, Any]:
+    backbone = resnet18(base_width=4, seed=0)
+    mask = magnitude_mask(backbone, sparsity=0.6)
+    ticket = Ticket(
+        scheme="omp",
+        prior="adversarial",
+        model_name="resnet18",
+        base_width=4,
+        sparsity=mask.sparsity(),
+        mask=mask,
+        backbone_state=backbone.state_dict(),
+    )
+    root = tempfile.mkdtemp(prefix="repro-bench-fleet-")
+    path = export_artifact(ticket, os.path.join(root, "model.npz"), num_classes=5, seed=3)
+    rng = np.random.default_rng(0)
+    return {"artifact": path, "samples": rng.uniform(0.0, 1.0, size=(32, 3, 16, 16))}
+
+
+def _fleet_payload(state) -> Dict[str, Any]:
+    """Boot a 2-shard pool, kill shard 0 mid-load, demand zero loss.
+
+    The timed quantity is the whole recovery story — spawn, routing,
+    crash detection, drain-and-re-route, restart — under a client load
+    that keeps both shards busy while the chaos hook fires.
+    """
+    config = FleetConfig(
+        shards=2,
+        engine=EngineConfig(max_batch=_FLEET_CLIENTS, max_wait_ms=2.0),
+        chaos=f"kill-shard:shard=0,after={_FLEET_KILL_AFTER}",
+    )
+    samples = state["samples"]
+    failures: list = []
+    with FleetSupervisor({"model": state["artifact"]}, config, default_model="model") as fleet:
+        barrier = threading.Barrier(_FLEET_CLIENTS + 1)
+
+        def client(index: int) -> None:
+            barrier.wait()
+            for request in range(_FLEET_REQUESTS):
+                sample = samples[(index * _FLEET_REQUESTS + request) % len(samples)]
+                try:
+                    fleet.predict(sample[None])
+                except Exception as error:  # noqa: BLE001 - any loss fails the spec
+                    failures.append(error)
+                    return
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(_FLEET_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - begin
+        stats = fleet.stats()
+    if failures:
+        raise RuntimeError(f"fleet dropped accepted work under chaos: {failures[0]!r}")
+    if stats["crashes"] < 1:
+        raise RuntimeError(f"the chaos kill never fired; stats: {stats}")
+    if stats["completed"] != stats["accepted"]:
+        raise RuntimeError(f"accepted != completed under failover; stats: {stats}")
+    total = _FLEET_CLIENTS * _FLEET_REQUESTS
+    return {
+        "requests_per_s": round(total / elapsed, 1),
+        "crashes": stats["crashes"],
+        "rerouted": stats["rerouted"],
+    }
+
+
+register(
+    BenchSpec(
+        name="serve.fleet_resilience",
+        title="Fleet failover: 2 shards, kill mid-load, zero loss (4x16 requests)",
+        setup=_fleet_setup,
+        payload=_fleet_payload,
+        metrics=("requests_per_s", "crashes", "rerouted"),
+        # Process spawn + restart makes this seconds per repeat: full
+        # suite only, no warmup (the first boot *is* the story), and a
+        # wide band — the gate is the zero-loss contract plus gross
+        # (2x+) recovery-path slowdowns, not scheduler jitter.
+        suites=("full",),
+        warmup=0,
+        repeats=3,
+        tolerance=1.5,
         timebase="wall",
     )
 )

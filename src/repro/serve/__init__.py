@@ -13,6 +13,11 @@ The deployment end of the compression pipeline:
    ``/predict``, ``/healthz`` and ``/models`` over stdlib HTTP;
    :class:`InProcessClient` / :class:`HTTPClient` are the matching
    client halves.
+4. **Scale out** — ``--shards N`` swaps the in-process engine for a
+   supervised multi-process shard pool (:mod:`repro.serve.fleet`):
+   consistent-hash routing, heartbeat supervision, crash-loop
+   breakers, zero-loss failover, and deterministic fault injection
+   through :mod:`repro.serve.fleet.chaos`.
 
 Predictions are byte-identical to
 :func:`repro.training.evaluation.predict_logits` on the source model:
@@ -27,10 +32,18 @@ from repro.serve.artifact import (
     export_artifact,
     load_artifact,
 )
-from repro.serve.batching import BatchingConfig, BatchStats, MicroBatcher
-from repro.serve.client import HTTPClient, InProcessClient, ServingError
+from repro.serve.batching import BatchingConfig, BatchStats, MicroBatcher, QueueFullError
+from repro.serve.client import HTTPClient, InProcessClient, RetryPolicy, ServingError
 from repro.serve.engine import EngineConfig, ServingEngine
 from repro.serve.export import best_point, export_best
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetError,
+    FleetSaturatedError,
+    FleetSupervisor,
+    FleetUnavailableError,
+    WorkerError,
+)
 from repro.serve.http import ServingHTTPServer, create_server
 from repro.serve.store import ModelStore
 
@@ -43,13 +56,21 @@ __all__ = [
     "BatchingConfig",
     "BatchStats",
     "MicroBatcher",
+    "QueueFullError",
     "HTTPClient",
     "InProcessClient",
+    "RetryPolicy",
     "ServingError",
     "EngineConfig",
     "ServingEngine",
     "best_point",
     "export_best",
+    "FleetConfig",
+    "FleetError",
+    "FleetSaturatedError",
+    "FleetSupervisor",
+    "FleetUnavailableError",
+    "WorkerError",
     "ServingHTTPServer",
     "create_server",
     "ModelStore",

@@ -40,12 +40,23 @@ import numpy as np
 
 from repro.tensor.dtypes import ACCUMULATION_DTYPE
 
-__all__ = ["BatchingConfig", "BatchStats", "MicroBatcher"]
+__all__ = ["BatchingConfig", "BatchStats", "MicroBatcher", "QueueFullError"]
 
 #: Ring-buffer size for per-request latency samples.  Percentiles are
 #: computed over the most recent window, so a long-lived server reports
 #: current behaviour rather than its lifetime average.
 LATENCY_WINDOW = 2048
+
+
+class QueueFullError(RuntimeError):
+    """The batcher's bounded queue is full; the request was rejected.
+
+    Raised from :meth:`MicroBatcher.submit` *immediately* (never after a
+    wait) so overload degrades gracefully: the caller gets a clear,
+    retryable signal instead of the queue growing without limit.  The
+    fleet worker maps this to a retryable ``saturated`` error, and the
+    HTTP layer to ``503`` + ``Retry-After``.
+    """
 
 
 @dataclass(frozen=True)
@@ -56,17 +67,23 @@ class BatchingConfig:
     how long the first request of a window waits for company.  With
     ``max_batch=1`` (or ``max_wait_ms=0`` under serial traffic) the
     batcher degrades to one-request-at-a-time processing, which is the
-    baseline the serving benchmark compares against.
+    baseline the serving benchmark compares against.  ``max_queue``
+    bounds how many requests may sit queued ahead of the scheduler
+    (0 means unbounded, the historical behaviour); a full queue rejects
+    new submissions with :class:`QueueFullError`.
     """
 
     max_batch: int = 64
     max_wait_ms: float = 2.0
+    max_queue: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0 (0 = unbounded), got {self.max_queue}")
 
 
 @dataclass
@@ -122,7 +139,12 @@ class MicroBatcher:
     ) -> None:
         self._batch_fn = batch_fn
         self.config = config if config is not None else BatchingConfig()
-        self._queue: "queue.SimpleQueue[Optional[_Pending]]" = queue.SimpleQueue()
+        # maxsize counts requests, not rows: the point is bounding queued
+        # callers (and their arrays), and per-request admission keeps the
+        # reject check O(1).
+        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue(
+            maxsize=self.config.max_queue
+        )
         self._stats = BatchStats()
         self._latencies_s: "collections.deque[float]" = collections.deque(maxlen=LATENCY_WINDOW)
         self._stats_lock = threading.Lock()
@@ -139,14 +161,32 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, inputs: np.ndarray) -> np.ndarray:
-        """Enqueue ``inputs`` and block until its results are ready."""
+    def submit(self, inputs: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Enqueue ``inputs`` and block until its results are ready.
+
+        With ``max_queue`` set and the queue full, rejects immediately
+        with :class:`QueueFullError` — submit never waits for space.
+        ``timeout`` (seconds) bounds the wait for the *result*; on
+        expiry a :class:`TimeoutError` is raised and the request's
+        eventual result is discarded (the batch still runs — the
+        scheduler never skips accepted work).
+        """
         pending = _Pending(np.asarray(inputs))
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
-            self._queue.put(pending)
-        pending.done.wait()
+            try:
+                self._queue.put_nowait(pending)
+            except queue.Full:
+                raise QueueFullError(
+                    f"micro-batcher queue is full ({self.config.max_queue} requests "
+                    "queued); retry later or raise BatchingConfig.max_queue"
+                ) from None
+        if not pending.done.wait(timeout):
+            raise TimeoutError(
+                f"request ({pending.rows} rows) not served within {timeout}s; "
+                "it stays queued and its result will be discarded"
+            )
         if pending.error is not None:
             raise pending.error
         assert pending.result is not None
@@ -179,7 +219,9 @@ class MicroBatcher:
 
         The queue is FIFO and the shutdown sentinel goes in behind the
         last accepted request (``_submit_lock``), so everything enqueued
-        before ``close`` is flushed before the scheduler exits.
+        before ``close`` is flushed before the scheduler exits.  On a
+        bounded queue the sentinel ``put`` may briefly block for a free
+        slot; the scheduler is still draining, so it always lands.
         """
         with self._submit_lock:
             if self._closed:

@@ -6,28 +6,89 @@ from many threads, so the measured speedup isolates the batching
 scheduler from HTTP overhead.  :class:`HTTPClient` speaks the JSON
 protocol of :mod:`repro.serve.http` over ``urllib`` so smoke tests and
 scripts need no third-party HTTP library.
+
+The HTTP client retries what is worth retrying: connection errors (the
+server is restarting, a fleet shard pool is rebooting) and ``503``
+overload rejections, with bounded attempts, exponential backoff, full
+jitter, and the server's ``Retry-After`` hint as a floor.  Anything
+else — bad input, unknown model, a genuine server bug — surfaces
+immediately as a :class:`ServingError` with ``retryable=False``.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from repro.serve.engine import ServingEngine
 
-__all__ = ["HTTPClient", "InProcessClient", "ServingError"]
+__all__ = ["HTTPClient", "InProcessClient", "RetryPolicy", "ServingError"]
+
+#: HTTP statuses worth retrying: pure overload/unavailability signals.
+RETRYABLE_STATUSES = frozenset({503})
 
 
 class ServingError(RuntimeError):
-    """A server-side error reported to a client (HTTP 4xx/5xx payload)."""
+    """A server-side error reported to a client (HTTP 4xx/5xx payload).
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retryable`` says whether another attempt could succeed (overload,
+    a restarting backend) — :class:`HTTPClient` consumes it in its
+    retry loop and callers can too.  ``retry_after`` carries the
+    server's ``Retry-After`` hint in seconds when one was sent.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retryable: bool = False,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.retryable = retryable
+        self.retry_after = retry_after
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with full jitter.
+
+    ``attempts`` counts total tries (1 = no retry).  The delay before
+    retry ``k`` (1-based) is uniformly drawn from
+    ``[0, min(backoff_max_s, backoff_s * 2**(k-1))]`` — full jitter, so
+    a thundering herd of clients decorrelates — and never below the
+    server's ``Retry-After`` hint when one accompanied the rejection.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        backoff_s: float = 0.1,
+        backoff_max_s: float = 2.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if backoff_s < 0 or backoff_max_s < 0:
+            raise ValueError("backoff_s and backoff_max_s must be >= 0")
+        self.attempts = attempts
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self._rng = random.Random(seed)
+
+    def delay(self, retry_index: int, retry_after: Optional[float] = None) -> float:
+        """Seconds to sleep before 1-based retry ``retry_index``."""
+        ceiling = min(self.backoff_max_s, self.backoff_s * (2 ** (retry_index - 1)))
+        jittered = self._rng.uniform(0.0, ceiling)
+        if retry_after is not None:
+            return max(jittered, retry_after)
+        return jittered
 
 
 class InProcessClient:
@@ -48,13 +109,26 @@ class InProcessClient:
 
 
 class HTTPClient:
-    """Minimal stdlib client for the ``repro.serve`` HTTP frontend."""
+    """Stdlib client for the ``repro.serve`` HTTP frontend with retries.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    ``retry`` configures the backoff loop (``RetryPolicy(attempts=1)``
+    disables retrying entirely); ``sleep`` is injectable so tests can
+    observe the chosen delays without waiting them out.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
 
-    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+    def _request_once(self, path: str, payload: Optional[dict] = None) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {}
@@ -66,11 +140,45 @@ class HTTPClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
+            raw = b""
             try:
-                message = json.loads(error.read().decode("utf-8")).get("error", str(error))
-            except (ValueError, OSError):
-                message = str(error)
-            raise ServingError(error.code, message) from error
+                raw = error.read()
+            except OSError:
+                pass
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {}
+            message = body.get("error", str(error))
+            retry_after: Optional[float] = None
+            header = error.headers.get("Retry-After") if error.headers is not None else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            retryable = error.code in RETRYABLE_STATUSES or bool(body.get("retryable", False))
+            raise ServingError(
+                error.code, message, retryable=retryable, retry_after=retry_after
+            ) from error
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        """One logical request: retries connection errors and 503s."""
+        for attempt in range(1, self.retry.attempts + 1):
+            try:
+                return self._request_once(path, payload)
+            except ServingError as error:
+                if not error.retryable or attempt == self.retry.attempts:
+                    raise
+                self._sleep(self.retry.delay(attempt, error.retry_after))
+            except urllib.error.URLError as error:
+                # Connection refused/reset: the server (or its shard
+                # pool) is restarting.  HTTPError is a URLError
+                # subclass but was already converted above.
+                if attempt == self.retry.attempts:
+                    raise
+                self._sleep(self.retry.delay(attempt))
+        raise AssertionError("unreachable: the retry loop returns or raises")
 
     def healthz(self) -> dict:
         return self._request("/healthz")

@@ -46,6 +46,12 @@ class EngineConfig:
     max_wait_ms: float = 2.0
     #: Chunk size of the forward pass (matches ``predict_logits``).
     eval_batch_size: int = 64
+    #: Requests that may queue ahead of the scheduler before new
+    #: submissions are rejected with
+    #: :class:`~repro.serve.batching.QueueFullError` (0: unbounded).
+    #: The fleet worker and the HTTP frontend turn that rejection into
+    #: a retryable ``saturated`` / ``503`` signal.
+    max_queue: int = 0
     #: Run the numeric sanitizer on the scheduler thread: every serving
     #: forward raises (and the error is delivered to the waiting caller)
     #: if it produces NaN/Inf, naming the offending op and layer.  Off
@@ -53,7 +59,11 @@ class EngineConfig:
     sanitize: bool = False
 
     def batching(self) -> BatchingConfig:
-        return BatchingConfig(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
+        return BatchingConfig(
+            max_batch=self.max_batch,
+            max_wait_ms=self.max_wait_ms,
+            max_queue=self.max_queue,
+        )
 
 
 class ServingEngine:
@@ -77,18 +87,22 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Client surface
     # ------------------------------------------------------------------
-    def predict(self, inputs) -> np.ndarray:
+    def predict(self, inputs, timeout: Optional[float] = None) -> np.ndarray:
         """Class logits for ``inputs``; blocks until the batch runs.
 
         ``inputs`` is an ``(N, C, H, W)`` array-like in the artifact's
         preprocessing layout (a single ``(C, H, W)`` sample is promoted
         to a batch of one; an empty list means zero samples).  Returns
         ``(N, num_classes)`` logits in the artifact's compute dtype —
-        ``N = 0`` still carries the full class dimension.
+        ``N = 0`` still carries the full class dimension.  ``timeout``
+        bounds the wait for the result (``TimeoutError`` on expiry);
+        with ``max_queue`` configured and the scheduler saturated the
+        request is rejected immediately with
+        :class:`~repro.serve.batching.QueueFullError`.
         """
         if self._closed:
             raise RuntimeError("cannot predict with a closed ServingEngine")
-        return self._batcher.submit(self._validate(inputs))
+        return self._batcher.submit(self._validate(inputs), timeout=timeout)
 
     def _validate(self, inputs) -> np.ndarray:
         array = np.asarray(inputs, dtype=self._dtype)

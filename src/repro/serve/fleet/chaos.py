@@ -1,0 +1,124 @@
+"""Deterministic fault injection for the serving fleet.
+
+Every failure mode the supervisor claims to survive is selectable on
+demand, so resilience is *tested*, never assumed.  A chaos spec is a
+semicolon-separated list of hooks::
+
+    kill-shard:shard=0,after=5; delay-response:shard=*,ms=25
+
+Hooks (all counters are per worker *process*, so a restarted shard
+re-arms deterministically):
+
+``kill-shard:shard=I,after=N``
+    The worker for shard ``I`` calls ``os._exit`` the moment it receives
+    its ``N``-th predict request — before replying, so the request is
+    in-flight when the process dies (the worst case for the supervisor).
+``stall-heartbeat:shard=I,after=N``
+    After answering ``N`` pings the worker stops answering them while
+    still serving predictions — a live-but-wedged process the supervisor
+    must treat as dead once the heartbeat deadline passes.
+``delay-response:shard=I,ms=M[,after=N]``
+    Every reply (from the ``N``-th predict on) sleeps ``M`` ms first —
+    the knob that makes backpressure reproducible.
+``corrupt-reply:shard=I,after=N``
+    The ``N``-th predict reply has its payload bytes flipped, which the
+    supervisor's CRC check must catch and convert into a failover.
+
+``shard=*`` applies a hook to every shard.  Specs come from
+:class:`~repro.serve.fleet.supervisor.FleetConfig` or, when unset there,
+the ``REPRO_CHAOS`` environment variable — the CI chaos job selects its
+faults without touching code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CHAOS_ENV_VAR", "ChaosConfig", "ChaosHook", "parse_chaos"]
+
+#: Environment variable the worker/supervisor read a chaos spec from.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+_KINDS = ("kill-shard", "stall-heartbeat", "delay-response", "corrupt-reply")
+
+
+@dataclass(frozen=True)
+class ChaosHook:
+    """One parsed hook: what fails, on which shard, and when."""
+
+    kind: str
+    shard: Optional[int]  # None means every shard
+    after: int = 1
+    ms: float = 0.0
+
+    def applies(self, shard_index: int) -> bool:
+        return self.shard is None or self.shard == shard_index
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """The hook set one worker consults (already filtered to its shard)."""
+
+    hooks: Tuple[ChaosHook, ...] = ()
+
+    def for_shard(self, shard_index: int) -> "ChaosConfig":
+        return ChaosConfig(tuple(hook for hook in self.hooks if hook.applies(shard_index)))
+
+    def first(self, kind: str) -> Optional[ChaosHook]:
+        for hook in self.hooks:
+            if hook.kind == kind:
+                return hook
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.hooks)
+
+
+def parse_chaos(spec: Optional[str]) -> ChaosConfig:
+    """Parse a chaos spec string (empty/None -> no hooks)."""
+    if spec is None:
+        return ChaosConfig()
+    hooks = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, arguments = clause.partition(":")
+        kind = kind.strip()
+        if kind not in _KINDS:
+            raise ValueError(f"unknown chaos hook {kind!r}; choose from {_KINDS}")
+        fields: Dict[str, str] = {}
+        for pair in arguments.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, _, value = pair.partition("=")
+            if not value:
+                raise ValueError(f"chaos argument {pair!r} must be key=value")
+            fields[key.strip()] = value.strip()
+        unknown = set(fields) - {"shard", "after", "ms"}
+        if unknown:
+            raise ValueError(f"unknown chaos argument(s) {sorted(unknown)} in {clause!r}")
+        shard_field = fields.get("shard", "*")
+        shard = None if shard_field == "*" else int(shard_field)
+        hook = ChaosHook(
+            kind=kind,
+            shard=shard,
+            after=int(fields.get("after", 1)),
+            ms=float(fields.get("ms", 0.0)),
+        )
+        if hook.after < 1:
+            raise ValueError(f"chaos 'after' must be >= 1, got {hook.after}")
+        if hook.ms < 0:
+            raise ValueError(f"chaos 'ms' must be >= 0, got {hook.ms}")
+        hooks.append(hook)
+    return ChaosConfig(tuple(hooks))
+
+
+def chaos_from_env(override: Optional[str] = None) -> ChaosConfig:
+    """The effective chaos config: explicit ``override`` beats the env."""
+    if override is not None:
+        return parse_chaos(override)
+    return parse_chaos(os.environ.get(CHAOS_ENV_VAR))

@@ -1,0 +1,123 @@
+"""Length-prefixed wire protocol between the supervisor and its shards.
+
+Every message is one frame on a stream socket::
+
+    [u32 frame length][u32 header length][header JSON utf-8][payload bytes]
+
+The header is a small JSON object whose ``kind`` field routes it
+(``hello``, ``predict``, ``result``, ``error``, ``ping``, ``pong``,
+``shutdown``, ``goodbye``); numpy arrays travel as raw bytes in the
+payload with their dtype/shape declared in the header, plus a CRC32 so
+a corrupted reply is *detected* rather than decoded into garbage logits
+(the ``corrupt-reply`` chaos hook exists to prove that path works).
+
+Both ends frame identically; reads are exact, so a half-written frame
+from a dying peer surfaces as :class:`ConnectionClosed`, never as a
+mis-parsed message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ConnectionClosed",
+    "ProtocolError",
+    "decode_array",
+    "encode_array",
+    "recv_message",
+    "send_message",
+]
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on one frame (256 MiB).  A frame length beyond this is a
+#: desynchronised stream, not a real request.
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed (or killed) the connection mid-conversation."""
+
+
+class ProtocolError(RuntimeError):
+    """A structurally invalid frame (bad length, bad JSON, bad CRC)."""
+
+
+def send_message(sock: socket.socket, header: Dict[str, Any], payload: bytes = b"") -> None:
+    """Frame and send one message (header JSON + raw payload bytes)."""
+    encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    frame = _LENGTH.pack(4 + len(encoded) + len(payload)) + _LENGTH.pack(len(encoded))
+    # One sendall for the whole frame: interleaving-safe as long as the
+    # caller serialises sends per socket (both ends hold a write lock).
+    sock.sendall(frame + encoded + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosed(f"peer closed with {remaining} of {count} bytes unread")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
+    """Read one frame; raises :class:`ConnectionClosed` on EOF."""
+    (frame_length,) = _LENGTH.unpack(_recv_exact(sock, 4))
+    if frame_length < 4 or frame_length > MAX_FRAME:
+        raise ProtocolError(f"frame length {frame_length} outside (4, {MAX_FRAME})")
+    body = _recv_exact(sock, frame_length)
+    (header_length,) = _LENGTH.unpack(body[:4])
+    if header_length > frame_length - 4:
+        raise ProtocolError(f"header length {header_length} exceeds frame {frame_length}")
+    try:
+        header = json.loads(body[4 : 4 + header_length].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"unparseable frame header: {error}") from error
+    if not isinstance(header, dict) or "kind" not in header:
+        raise ProtocolError(f"frame header must be an object with a 'kind', got {header!r}")
+    return header, body[4 + header_length :]
+
+
+def encode_array(array: np.ndarray) -> Tuple[Dict[str, Any], bytes]:
+    """Header fields + payload bytes describing ``array`` exactly."""
+    contiguous = np.ascontiguousarray(array)
+    payload = contiguous.tobytes()
+    return (
+        {
+            "dtype": str(contiguous.dtype),
+            "shape": list(contiguous.shape),
+            "crc": zlib.crc32(payload),
+        },
+        payload,
+    )
+
+
+def decode_array(header: Dict[str, Any], payload: bytes, verify: bool = True) -> np.ndarray:
+    """Rebuild the array an :func:`encode_array` header/payload describes.
+
+    With ``verify`` (the default) a CRC mismatch raises
+    :class:`ProtocolError` — the supervisor treats that as a shard fault
+    and fails the shard over rather than serving corrupt logits.
+    """
+    crc: Optional[int] = header.get("crc")
+    if verify and crc is not None and zlib.crc32(payload) != crc:
+        raise ProtocolError("array payload failed its CRC32 check")
+    dtype = np.dtype(str(header["dtype"]))
+    shape = tuple(int(dim) for dim in header["shape"])
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else dtype.itemsize
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"array payload holds {len(payload)} bytes but {dtype} x {shape} needs {expected}"
+        )
+    return np.frombuffer(payload, dtype=dtype).reshape(shape)

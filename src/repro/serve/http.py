@@ -1,44 +1,138 @@
 """Stdlib-only HTTP frontend for the serving subsystem.
 
 ``python -m repro.serve --artifact model.npz`` starts a threaded HTTP
-server over a :class:`~repro.serve.store.ModelStore`:
+server over a :class:`~repro.serve.store.ModelStore`; with
+``--shards N`` (N >= 2) the same routes are served by a supervised
+:class:`~repro.serve.fleet.FleetSupervisor` shard pool instead:
 
-* ``GET /healthz`` — liveness plus which models are registered/loaded;
+* ``GET /healthz`` — liveness plus which models are registered/loaded
+  (and, under a fleet, the per-shard supervision snapshot);
 * ``GET /models`` — full artifact metadata per registered model;
 * ``POST /predict`` — JSON ``{"inputs": [[...]], "model": "name"?}`` ->
   ``{"logits": [[...]], "dtype": ..., "shape": [...]}``.
 
 Handler threads only parse/serialise JSON and block on the engine's
-micro-batcher, so concurrent requests coalesce into shared forward
-passes exactly like in-process traffic.  Responses carry the artifact's
-compute dtype and the logits' shape, which lets a client reconstruct
-the numpy result byte-identically (including zero-row responses).
+micro-batcher (or the fleet's routing table), so concurrent requests
+coalesce into shared forward passes exactly like in-process traffic.
+Responses carry the artifact's compute dtype and the logits' shape,
+which lets a client reconstruct the numpy result byte-identically
+(including zero-row responses).
+
+Overload is a first-class response, not an accident: a saturated pool
+(or a full micro-batcher queue) answers ``503`` with a ``Retry-After``
+header, which :class:`~repro.serve.client.HTTPClient` honours in its
+retry loop.  SIGTERM/SIGINT drain instead of dropping connections:
+the listener stops accepting, every in-flight request still gets its
+response, then the backend shuts down and the process exits.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
+import signal
 import sys
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.serve.batching import QueueFullError
 from repro.serve.engine import EngineConfig
+from repro.serve.fleet.supervisor import (
+    FleetConfig,
+    FleetError,
+    FleetSaturatedError,
+    FleetSupervisor,
+    FleetUnavailableError,
+    WorkerError,
+)
 from repro.serve.store import ModelStore
 
 __all__ = ["ServingHTTPServer", "build_parser", "create_server", "main"]
 
+#: How long a drain waits for in-flight requests before giving up.
+DRAIN_TIMEOUT_S = 30.0
+
+#: ``Retry-After`` hint attached to single-process saturation (the
+#: fleet carries its own per-config hint).
+RETRY_AFTER_S = 1.0
+
+
+def _retry_after_header(seconds: float) -> str:
+    """RFC 9110 delta-seconds: an integer, never below 1."""
+    return str(max(1, math.ceil(seconds)))
+
 
 class ServingHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to a model store."""
+    """A threading HTTP server bound to a model store or a shard fleet.
+
+    Exactly one backend is active: ``fleet`` when supplied (the store
+    is then only consulted for registration metadata and may be
+    ``None``), the in-process ``store`` otherwise.  The server counts
+    in-flight connections so :meth:`drain` can stop accepting and wait
+    for every accepted request to finish — the graceful half of
+    SIGTERM handling.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], store: ModelStore, default_model: str) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        store: Optional[ModelStore],
+        default_model: str,
+        fleet: Optional[FleetSupervisor] = None,
+    ) -> None:
+        if store is None and fleet is None:
+            raise ValueError("a serving server needs a store or a fleet backend")
         super().__init__(address, _Handler)
         self.store = store
+        self.fleet = fleet
         self.default_model = default_model
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        self._draining = threading.Event()
+
+    # ------------------------------------------------------------------
+    # In-flight accounting / graceful drain
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def finish_request(self, request, client_address) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            super().finish_request(request, client_address)
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def drain(self, timeout: float = DRAIN_TIMEOUT_S) -> bool:
+        """Stop accepting and wait for in-flight requests to complete.
+
+        Returns ``True`` when every accepted request finished (its
+        response flushed) within ``timeout``.  The backend is *not*
+        closed here — the caller closes it after the drain so late
+        responses still have an engine to come from.
+        """
+        self._draining.set()
+        # Stops ``serve_forever`` (must run on a different thread), so
+        # no new connection is accepted while we wait.
+        self.shutdown()
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -57,17 +151,35 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "default_model": self.server.default_model,
-                    "models": self.server.store.names(),
-                    "loaded": self.server.store.loaded(),
-                },
-            )
+            if self.server.fleet is not None:
+                fleet = self.server.fleet
+                shards = fleet.shard_states()
+                live = sum(1 for shard in shards if shard["state"] == "live")
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok" if live else "degraded",
+                        "default_model": fleet.default_model,
+                        "models": fleet.names(),
+                        # Every shard warm-loads every artifact before
+                        # joining the pool, so registered == loaded.
+                        "loaded": fleet.names(),
+                        "shards": shards,
+                    },
+                )
+            else:
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "default_model": self.server.default_model,
+                        "models": self.server.store.names(),
+                        "loaded": self.server.store.loaded(),
+                    },
+                )
         elif self.path == "/models":
-            self._send_json(200, {"models": self.server.store.describe()})
+            backend = self.server.fleet if self.server.fleet is not None else self.server.store
+            self._send_json(200, {"models": backend.describe()})
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -92,6 +204,56 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": 'request must carry an "inputs" field'})
             return
         name = payload.get("model") or self.server.default_model
+        if self.server.fleet is not None:
+            self._predict_fleet(name, payload["inputs"])
+        else:
+            self._predict_store(name, payload["inputs"])
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+    def _predict_fleet(self, name: str, inputs) -> None:
+        """Route one prediction through the shard pool.
+
+        The supervisor's failure taxonomy maps onto HTTP statuses:
+        saturation is ``503`` + ``Retry-After`` (retryable), a fleet
+        with every breaker open is ``503`` without the hint (operator
+        attention), a request deadline is ``504``, and per-request
+        shard errors keep their code (``400``/``404``/``500``).
+        """
+        fleet = self.server.fleet
+        try:
+            logits = fleet.predict(inputs, model=name)
+        except KeyError as error:
+            self._send_json(404, {"error": str(error.args[0]) if error.args else str(error)})
+        except FleetSaturatedError as error:
+            self._send_json(
+                503,
+                {"error": str(error), "retryable": True},
+                headers={"Retry-After": _retry_after_header(error.retry_after)},
+            )
+        except FleetUnavailableError as error:
+            self._send_json(503, {"error": str(error), "retryable": False})
+        except TimeoutError as error:
+            self._send_json(504, {"error": str(error)})
+        except WorkerError as error:
+            status = {"unknown-model": 404, "bad-request": 400, "saturated": 503}.get(
+                error.code, 500
+            )
+            headers = (
+                {"Retry-After": _retry_after_header(RETRY_AFTER_S)} if status == 503 else None
+            )
+            self._send_json(
+                status, {"error": str(error), "retryable": error.retryable}, headers=headers
+            )
+        except FleetError as error:
+            self._send_json(503, {"error": str(error)})
+        except (ValueError, TypeError) as error:
+            self._send_json(400, {"error": str(error)})
+        else:
+            self._send_logits(name, logits)
+
+    def _predict_store(self, name: str, inputs) -> None:
         logits = None
         for attempt in (0, 1):
             try:
@@ -105,10 +267,22 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(503, {"error": f"model {name!r} failed to load: {error}"})
                 return
             try:
-                logits = engine.predict(payload["inputs"])
+                logits = engine.predict(inputs)
                 break
             except (ValueError, TypeError) as error:
                 self._send_json(400, {"error": str(error)})
+                return
+            except QueueFullError as error:
+                # Bounded-queue backpressure: overload degrades to a
+                # clear, retryable rejection instead of a growing queue.
+                self._send_json(
+                    503,
+                    {"error": str(error), "retryable": True},
+                    headers={"Retry-After": _retry_after_header(RETRY_AFTER_S)},
+                )
+                return
+            except TimeoutError as error:
+                self._send_json(504, {"error": str(error)})
                 return
             except RuntimeError as error:
                 if engine.closed:
@@ -126,6 +300,12 @@ class _Handler(BaseHTTPRequestHandler):
             except Exception as error:  # noqa: BLE001 - report, don't drop the socket
                 self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
                 return
+        self._send_logits(name, logits)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_logits(self, name: str, logits) -> None:
         self._send_json(
             200,
             {
@@ -136,26 +316,33 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
-    # ------------------------------------------------------------------
-    # Plumbing
-    # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        if self.server.draining:
+            # A draining server finishes the requests it accepted but
+            # ends every connection after its current response.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
 
 def create_server(
-    store: ModelStore,
+    store: Optional[ModelStore],
     default_model: str,
     host: str = "127.0.0.1",
     port: int = 0,
+    fleet: Optional[FleetSupervisor] = None,
 ) -> ServingHTTPServer:
     """Bind (but do not start) a serving server; ``port=0`` picks a free one."""
-    return ServingHTTPServer((host, port), store, default_model)
+    return ServingHTTPServer((host, port), store, default_model, fleet=fleet)
 
 
 def _artifact_name(spec: str) -> Tuple[str, str]:
@@ -189,11 +376,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     parser.add_argument("--port", type=int, default=8100, help="bind port (default: 8100)")
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes behind the frontend; 1 (default) serves "
+            "in-process, >= 2 runs a supervised shard pool with "
+            "zero-loss failover (chaos hooks via REPRO_CHAOS)"
+        ),
+    )
+    parser.add_argument(
         "--capacity",
         type=int,
         default=4,
         metavar="N",
-        help="resident engines before LRU eviction kicks in (default: 4)",
+        help="resident engines before LRU eviction kicks in (default: 4; in-process only)",
     )
     parser.add_argument(
         "--max-batch",
@@ -216,6 +414,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="forward-pass chunk size, mirroring predict_logits (default: 64)",
     )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "requests that may queue ahead of each scheduler before new "
+            "ones are rejected with 503 + Retry-After (default: 0 = unbounded)"
+        ),
+    )
     return parser
 
 
@@ -223,42 +431,95 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Start the serving frontend; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
     config = EngineConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         eval_batch_size=args.eval_batch_size,
+        max_queue=args.max_queue,
     )
-    store = ModelStore(capacity=args.capacity, config=config)
-    default_model = None
+
+    artifacts: Dict[str, str] = {}
     for spec in args.artifact:
         name, path = _artifact_name(spec)
-        if name in store.names():
+        if name in artifacts:
             parser.error(
                 f"two --artifact values resolve to the model name {name!r}; "
                 "disambiguate with NAME=PATH"
             )
-        try:
-            store.register(name, path)
-        except (OSError, ValueError) as error:
-            parser.error(str(error))
-        default_model = default_model or name
-    assert default_model is not None
-    # Load the default model eagerly: once /healthz answers, /predict
-    # will not pay a cold model load.
-    store.get(default_model)
+        artifacts[name] = path
+    default_model = next(iter(artifacts))
 
-    server = create_server(store, default_model, host=args.host, port=args.port)
+    store: Optional[ModelStore] = None
+    fleet: Optional[FleetSupervisor] = None
+    if args.shards >= 2:
+        try:
+            fleet = FleetSupervisor(
+                artifacts,
+                FleetConfig(shards=args.shards, engine=config),
+                default_model=default_model,
+            )
+        except (OSError, ValueError, RuntimeError) as error:
+            parser.error(str(error))
+    else:
+        store = ModelStore(capacity=args.capacity, config=config)
+        for name, path in artifacts.items():
+            try:
+                store.register(name, path)
+            except (OSError, ValueError) as error:
+                parser.error(str(error))
+        # Load the default model eagerly: once /healthz answers,
+        # /predict will not pay a cold model load.
+        store.get(default_model)
+
+    def close_backend() -> None:
+        if fleet is not None:
+            fleet.close()
+        if store is not None:
+            store.close()
+
+    try:
+        server = create_server(store, default_model, host=args.host, port=args.port, fleet=fleet)
+    except OSError as error:
+        close_backend()
+        parser.error(str(error))
     host, port = server.server_address[:2]
+    backend = f"{args.shards} shard processes" if fleet is not None else "in-process engine"
     print(
-        f"serving {store.names()} on http://{host}:{port} "
+        f"serving {list(artifacts)} on http://{host}:{port} via {backend} "
         "(POST /predict, GET /healthz, GET /models)",
         flush=True,
     )
+
+    # SIGTERM/SIGINT request a drain: stop accepting, answer what was
+    # accepted, then shut the backend down and exit 0.
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - stdlib signature
+        stop.set()
+
     try:
-        server.serve_forever()
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+    except ValueError:
+        pass  # embedded in a non-main thread: the caller owns signals
+
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    serve_thread.start()
+    try:
+        stop.wait()
     except KeyboardInterrupt:
         pass
-    finally:
-        server.server_close()
-        store.close()
+    print("draining in-flight requests ...", flush=True)
+    drained = server.drain()
+    server.server_close()
+    close_backend()
+    serve_thread.join(timeout=5.0)
+    if not drained:
+        print(f"drain timed out after {DRAIN_TIMEOUT_S}s; exiting anyway", file=sys.stderr)
+        return 1
+    print("drained; bye", flush=True)
     return 0

@@ -10,9 +10,17 @@ and the export-best-point bridge from a finished sweep.
 
 from __future__ import annotations
 
+import json
 import os
+import re
+import signal
+import socket
+import subprocess
+import sys
 import threading
 import time
+import urllib.error
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 import pytest
@@ -27,6 +35,8 @@ from repro.serve import (
     HTTPClient,
     MicroBatcher,
     ModelStore,
+    QueueFullError,
+    RetryPolicy,
     ServingEngine,
     ServingError,
     create_server,
@@ -598,3 +608,270 @@ class TestServeCLI:
 
         with pytest.raises(SystemExit):
             main(["--artifact", str(tmp_path / "missing.npz"), "--port", "0"])
+
+
+class TestMicroBatcherOverload:
+    def test_full_queue_rejects_immediately(self):
+        """The third request of a 1-slot queue is rejected, not queued."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocking_fn(batch):
+            started.set()
+            release.wait(10.0)
+            return batch
+
+        config = BatchingConfig(max_batch=1, max_wait_ms=0.0, max_queue=1)
+        with MicroBatcher(blocking_fn, config) as batcher:
+            first = threading.Thread(target=lambda: batcher.submit(np.ones((1, 2))))
+            first.start()
+            assert started.wait(5.0)  # the scheduler is busy inside batch_fn
+            second = threading.Thread(target=lambda: batcher.submit(np.ones((1, 2))))
+            second.start()
+            deadline = time.monotonic() + 5.0
+            while not batcher._queue.full():  # the lone queue slot fills
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            start = time.monotonic()
+            with pytest.raises(QueueFullError, match="max_queue"):
+                batcher.submit(np.ones((1, 2)))
+            # Rejection is immediate: submit never waits for a free slot.
+            assert time.monotonic() - start < 0.5
+            release.set()
+            first.join(5.0)
+            second.join(5.0)
+            assert not first.is_alive() and not second.is_alive()
+
+    def test_submit_timeout_abandons_result_but_scheduler_survives(self):
+        release = threading.Event()
+        served_rows = []
+
+        def slow_fn(batch):
+            release.wait(10.0)
+            served_rows.append(batch.shape[0])
+            return batch * 2.0
+
+        with MicroBatcher(slow_fn, BatchingConfig(max_batch=4, max_wait_ms=0.0)) as batcher:
+            with pytest.raises(TimeoutError, match="not served"):
+                batcher.submit(np.ones((2, 3)), timeout=0.05)
+            release.set()
+            # The abandoned request's batch still ran, and the scheduler
+            # keeps serving fresh requests afterwards.
+            result = batcher.submit(np.full((1, 3), 2.0), timeout=5.0)
+            np.testing.assert_array_equal(result, np.full((1, 3), 4.0))
+            assert 2 in served_rows
+
+    def test_negative_max_queue_rejected(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            BatchingConfig(max_queue=-1)
+
+    def test_engine_config_threads_max_queue_through(self):
+        assert EngineConfig(max_queue=3).batching().max_queue == 3
+        assert EngineConfig().batching().max_queue == 0  # default stays unbounded
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Replays a per-server script of (status, headers, payload) replies."""
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        pass
+
+    def _reply(self) -> None:
+        self.server.calls += 1
+        if self.server.script:
+            status, headers, payload = self.server.script.pop(0)
+        else:
+            status, headers, payload = 200, {}, {"ok": True}
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._reply()
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        self._reply()
+
+
+@pytest.fixture
+def scripted_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.script = []
+    server.calls = 0
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(5.0)
+
+
+class TestHTTPClientRetry:
+    @staticmethod
+    def url(server) -> str:
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def test_retries_503_and_honours_retry_after(self, scripted_server):
+        scripted_server.script.extend(
+            [
+                (503, {"Retry-After": "1"}, {"error": "overloaded", "retryable": True}),
+                (503, {"Retry-After": "2"}, {"error": "overloaded", "retryable": True}),
+                (200, {}, {"ok": True}),
+            ]
+        )
+        delays = []
+        client = HTTPClient(
+            self.url(scripted_server),
+            retry=RetryPolicy(attempts=3, backoff_s=0.01, backoff_max_s=0.05, seed=0),
+            sleep=delays.append,
+        )
+        assert client.healthz() == {"ok": True}
+        assert scripted_server.calls == 3
+        # The server's Retry-After hint floors the jittered backoff.
+        assert delays[0] >= 1.0 and delays[1] >= 2.0
+
+    def test_gives_up_after_bounded_attempts(self, scripted_server):
+        scripted_server.script.extend([(503, {}, {"error": "overloaded"})] * 5)
+        client = HTTPClient(
+            self.url(scripted_server),
+            retry=RetryPolicy(attempts=2, backoff_s=0.0),
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(ServingError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 503
+        assert excinfo.value.retryable
+        assert scripted_server.calls == 2  # bounded: attempts, not forever
+
+    def test_non_retryable_errors_fail_fast(self, scripted_server):
+        scripted_server.script.append((400, {}, {"error": "bad inputs"}))
+        slept = []
+        client = HTTPClient(
+            self.url(scripted_server), retry=RetryPolicy(attempts=3), sleep=slept.append
+        )
+        with pytest.raises(ServingError, match="bad inputs") as excinfo:
+            client.healthz()
+        assert not excinfo.value.retryable
+        assert scripted_server.calls == 1
+        assert slept == []
+
+    def test_connection_errors_retry_then_raise(self):
+        # Bind-then-close yields a port with nothing listening on it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        delays = []
+        client = HTTPClient(
+            f"http://127.0.0.1:{port}",
+            timeout=1.0,
+            retry=RetryPolicy(attempts=3, backoff_s=0.001, seed=1),
+            sleep=delays.append,
+        )
+        with pytest.raises(urllib.error.URLError):
+            client.healthz()
+        assert len(delays) == 2  # attempts - 1 backoff sleeps
+
+    def test_retry_policy_delay_is_seeded_and_bounded(self):
+        policy = RetryPolicy(attempts=5, backoff_s=0.1, backoff_max_s=0.3, seed=42)
+        twin = RetryPolicy(attempts=5, backoff_s=0.1, backoff_max_s=0.3, seed=42)
+        delays = [policy.delay(k) for k in range(1, 5)]
+        assert delays == [twin.delay(k) for k in range(1, 5)]
+        assert all(0.0 <= delay <= 0.3 for delay in delays)
+        assert RetryPolicy(seed=0).delay(1, retry_after=7.5) >= 7.5
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff_s=-1.0)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_under_load_drains_and_exits_zero(self, sealed):
+        """SIGTERM mid-load: every accepted request is answered, exit 0.
+
+        Runs the real ``python -m repro.serve --shards 2`` CLI as a
+        subprocess (spawned fleet workers included) with a chaos delay
+        keeping requests in flight when the signal lands.
+        """
+        path, _ = sealed
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CHAOS"] = "delay-response:shard=*,ms=150"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve",
+                "--artifact",
+                f"model={path}",
+                "--port",
+                "0",
+                "--shards",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        output = ""
+        try:
+            # The banner prints once the shard pool is live.
+            banner = proc.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"unexpected server banner: {banner!r}"
+            client = HTTPClient(
+                f"http://{match.group(1)}:{match.group(2)}",
+                timeout=30.0,
+                retry=RetryPolicy(attempts=1),
+            )
+            results, failures = [], []
+            stop = threading.Event()
+
+            def hammer() -> None:
+                while not stop.is_set():
+                    try:
+                        results.append(client.predict(np.zeros((1, 3, 16, 16))))
+                    except ServingError as error:
+                        failures.append(error)
+                        return
+                    except (OSError, urllib.error.URLError):
+                        return  # the listener closed: the drain has begun
+                    except Exception as error:  # noqa: BLE001 - any other failure is a bug
+                        failures.append(error)
+                        return
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.6)  # several 150 ms requests are now in flight
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=60.0)
+            stop.set()
+            for thread in threads:
+                thread.join(15.0)
+            assert not any(thread.is_alive() for thread in threads)
+        finally:
+            stop.set()
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, output
+        assert "draining in-flight requests" in output
+        assert "drained; bye" in output
+        # Zero accepted-request loss: nothing got an error response.
+        assert failures == []
+        assert results, "the load generator never completed a request"
+        assert all(logits.shape == (1, 5) for logits in results)
