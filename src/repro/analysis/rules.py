@@ -556,6 +556,68 @@ class EvalNoGradRule(Rule):
         return chain is not None and chain.split(".")[-1] == "no_grad"
 
 
+class DenseMaskMultiplyRule(Rule):
+    """Pruning masks are applied through ``PruningMask.apply``, nowhere else.
+
+    A stray ``weights * mask`` (or ``np.multiply(weights, mask)``)
+    outside :mod:`repro.pruning.mask` re-densifies sparsity the
+    sparse-execution layer works to exploit: it bypasses the all-ones
+    fast path, skips the CSR-cache invalidation hook, and re-touches
+    every zero the compaction pass would have deleted.  The
+    ``repro/tensor/`` engine is out of scope — its ``mask`` locals are
+    elementwise-op internals (dropout keeps, pooling argmax indicators),
+    not pruning masks.
+    """
+
+    id = "dense-mask-multiply"
+    summary = "dense pruning-mask multiply outside repro/pruning/mask.py"
+
+    ALLOWED_FILES = ("repro/pruning/mask.py",)
+    EXCLUDED_SCOPES = ("repro/tensor/",)
+    MULTIPLY_CALLS = {"np.multiply", "numpy.multiply"}
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if context.module_path in self.ALLOWED_FILES:
+            return
+        if context.module_path.startswith(self.EXCLUDED_SCOPES):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+                operand = self._mask_operand(node.left) or self._mask_operand(node.right)
+                if operand:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"dense multiply against {operand!r}; apply pruning masks "
+                        "through PruningMask.apply (all-ones skip + sparse-cache "
+                        "invalidation live there)",
+                    )
+            elif isinstance(node, ast.Call) and _attribute_chain(node.func) in self.MULTIPLY_CALLS:
+                for arg in node.args:
+                    operand = self._mask_operand(arg)
+                    if operand:
+                        yield self.finding(
+                            context,
+                            node,
+                            f"np.multiply against {operand!r}; apply pruning masks "
+                            "through PruningMask.apply",
+                        )
+                        break
+
+    @staticmethod
+    def _mask_operand(node: ast.AST) -> Optional[str]:
+        """Terminal identifier of an operand that names a mask, else None."""
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return None
+        return name if "mask" in name.lower() else None
+
+
 #: The shipped rule set, in reporting order.
 ALL_RULES: Tuple[Rule, ...] = (
     DtypeLiteralRule(),
@@ -564,6 +626,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     BenchWallclockRule(),
     EvalNoGradRule(),
+    DenseMaskMultiplyRule(),
 )
 
 

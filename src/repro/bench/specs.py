@@ -26,12 +26,14 @@ from repro.core.tickets import Ticket
 from repro.models.heads import ClassifierHead
 from repro.models.resnet import resnet18, resnet50
 from repro.nn.fuse import fuse
+from repro.pruning.compact import compact
 from repro.pruning.mask import magnitude_mask
 from repro.serve.artifact import export_artifact
 from repro.serve.batching import BatchingConfig, MicroBatcher
 from repro.serve.engine import EngineConfig
 from repro.serve.fleet import FleetConfig, FleetSupervisor
 from repro.tensor import Tensor, conv2d, cross_entropy, no_grad
+from repro.tensor import sparse as _sparse
 
 
 # ----------------------------------------------------------------------
@@ -390,6 +392,197 @@ def _fleet_payload(state) -> Dict[str, Any]:
         "crashes": stats["crashes"],
         "rerouted": stats["rerouted"],
     }
+
+
+# ----------------------------------------------------------------------
+# sparse.*  — sparse execution: compaction speedup + CSR crossover
+# ----------------------------------------------------------------------
+def _best_of(fn, repeats: int = 4) -> float:
+    """Minimum wall-time of ``repeats`` calls (first call is the warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+def _compact_setup() -> Dict[str, Any]:
+    model = ClassifierHead(resnet18(base_width=16, seed=0), num_classes=10, seed=1)
+    mask = magnitude_mask(model, sparsity=0.9, granularity="channel")
+    mask.apply(model)
+    masked_dense = fuse(model)
+    compacted, report = compact(model)
+    if report.removed_channels() < 100:
+        raise RuntimeError(f"compaction removed too little to bench: {report.summary()}")
+    rng = np.random.default_rng(0)
+    return {
+        "dense": masked_dense,
+        "compacted": compacted,
+        "images": rng.uniform(size=(16, 3, 16, 16)),
+        "removed": report.removed_channels(),
+    }
+
+
+def _compact_payload(state) -> Dict[str, Any]:
+    """Same batch through the masked-dense and the compacted fused graph.
+
+    The ISSUE-level contract — a 90%-channel-sparse ticket must run at
+    least 1.5x faster once physically compacted — is asserted here, so
+    the gate fails on contract loss (a broken dispatch, a de-compacted
+    export) and not just on raw-time drift.
+    """
+    images = Tensor(state["images"])
+
+    def run(model) -> None:
+        with no_grad():
+            logits = model(images).data
+        if not np.all(np.isfinite(logits)):
+            raise FloatingPointError("sparse bench produced non-finite logits")
+
+    dense_s = _best_of(lambda: run(state["dense"]))
+    compact_s = _best_of(lambda: run(state["compacted"]))
+    speedup = dense_s / compact_s
+    if speedup < 1.5:
+        raise RuntimeError(
+            f"compacted inference is only {speedup:.2f}x faster than masked-dense "
+            f"(dense {dense_s * 1e3:.2f}ms, compacted {compact_s * 1e3:.2f}ms); "
+            "the >= 1.5x contract at 90% channel sparsity is broken"
+        )
+    return {"speedup": round(speedup, 2), "removed_channels": state["removed"]}
+
+
+register(
+    BenchSpec(
+        name="sparse.compact_inference",
+        title="Compacted vs masked-dense fused ResNet-18 at 90% channel sparsity",
+        setup=_compact_setup,
+        payload=_compact_payload,
+        metrics=("speedup", "removed_channels"),
+        repeats=5,
+    )
+)
+
+
+#: Zero-fraction grid the crossover spec sweeps; the committed
+#: ``DEFAULT_THRESHOLD`` must sit inside the bracket the sweep finds.
+_CSR_GRID = (0.5, 0.9, 0.95, 0.98)
+
+
+def _csr_setup() -> Dict[str, Any]:
+    rng = np.random.default_rng(0)
+    weights = {}
+    for zero_fraction in _CSR_GRID:
+        weight = rng.standard_normal((256, 2304))
+        weight[rng.uniform(size=weight.shape) < zero_fraction] = 0.0
+        weights[zero_fraction] = weight
+    return {"weights": weights, "rhs": rng.standard_normal((2304, 1024))}
+
+
+def _csr_payload(state) -> Dict[str, Any]:
+    """Dense GEMM vs CSR kernel across the sparsity grid.
+
+    Reports the measured crossover (the first grid point where CSR
+    wins) and, on the scipy backend, asserts the committed dispatch
+    threshold is not sitting below a losing grid point — the check that
+    keeps ``DEFAULT_THRESHOLD`` honest on the reference machine.
+    """
+    rhs = state["rhs"]
+    speedups = {}
+    for zero_fraction, weight in state["weights"].items():
+        dense_s = _best_of(lambda: weight @ rhs, repeats=3)
+        with _sparse.sparse_policy_scope(mode="force"):
+            csr_s = _best_of(lambda: _sparse.maybe_sparse_gemm(weight, rhs), repeats=3)
+        speedups[zero_fraction] = dense_s / csr_s
+    _sparse.clear_cache()
+    crossover = next(
+        (zero_fraction for zero_fraction, ratio in speedups.items() if ratio > 1.0), None
+    )
+    if _sparse.sparse_backend() == "scipy":
+        if crossover is None:
+            raise RuntimeError(
+                f"CSR never beat dense on the grid {speedups}; the sparse "
+                "dispatch path has lost its win"
+            )
+        losing = [
+            zero_fraction
+            for zero_fraction, ratio in speedups.items()
+            if zero_fraction >= _sparse.DEFAULT_THRESHOLD and ratio <= 1.0
+        ]
+        if losing:
+            raise RuntimeError(
+                f"dispatch threshold {_sparse.DEFAULT_THRESHOLD} admits losing "
+                f"sparsities {losing} (grid {speedups}); re-measure the crossover"
+            )
+    return {
+        "crossover": crossover if crossover is not None else -1.0,
+        "speedup_at_98": round(speedups[0.98], 2),
+        "backend": _sparse.sparse_backend(),
+    }
+
+
+register(
+    BenchSpec(
+        name="sparse.csr_matmul",
+        title="CSR vs dense GEMM crossover (256x2304 @ 2304x1024 sparsity grid)",
+        setup=_csr_setup,
+        payload=_csr_payload,
+        metrics=("crossover", "speedup_at_98", "backend"),
+        repeats=3,
+    )
+)
+
+
+def _artifact_size_setup() -> Dict[str, Any]:
+    model = ClassifierHead(resnet18(base_width=8, seed=0), num_classes=10, seed=1)
+    pruned = ClassifierHead(resnet18(base_width=8, seed=0), num_classes=10, seed=1)
+    mask = magnitude_mask(pruned, sparsity=0.8)
+    mask.apply(pruned)
+    return {"dense": model, "pruned": pruned, "mask": mask}
+
+
+def _artifact_size_payload(state) -> Dict[str, Any]:
+    """Seal a dense and an 80%-unstructured model; assert the shrink.
+
+    Deterministic (no timing sensitivity): the gate is the >= 2x
+    on-disk reduction contract of the sparse artifact encoding.
+    """
+    root = tempfile.mkdtemp(prefix="repro-bench-sparse-size-")
+    dense_path = export_artifact(
+        state["dense"], os.path.join(root, "dense.npz"), model_name="resnet18", base_width=8
+    )
+    pruned_path = export_artifact(
+        state["pruned"],
+        os.path.join(root, "pruned.npz"),
+        model_name="resnet18",
+        base_width=8,
+        mask=state["mask"],
+    )
+    shrink = os.path.getsize(dense_path) / os.path.getsize(pruned_path)
+    if shrink < 2.0:
+        raise RuntimeError(
+            f"80%-sparse artifact shrank only {shrink:.2f}x on disk; "
+            "the >= 2x sparse-encoding contract is broken"
+        )
+    return {"shrink": round(shrink, 2)}
+
+
+register(
+    BenchSpec(
+        name="sparse.artifact_size",
+        title="Sealed artifact on-disk shrink at 80% unstructured sparsity",
+        setup=_artifact_size_setup,
+        payload=_artifact_size_payload,
+        metrics=("shrink",),
+        repeats=3,
+        # The payload is filesystem-bound (npz write + two exports);
+        # gate on raw seconds with a wide band — the real gate is the
+        # in-payload shrink contract.
+        tolerance=1.5,
+        timebase="wall",
+    )
+)
 
 
 register(

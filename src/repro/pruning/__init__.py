@@ -24,6 +24,12 @@ from repro.pruning.mask import (
     apply_mask,
     mask_gradients,
 )
+from repro.pruning.compact import (
+    BlockCompaction,
+    CompactionReport,
+    compact,
+    conform_to_state,
+)
 from repro.pruning.granularity import (
     GRANULARITIES,
     group_reduce_scores,
@@ -48,6 +54,10 @@ __all__ = [
     "magnitude_mask",
     "apply_mask",
     "mask_gradients",
+    "BlockCompaction",
+    "CompactionReport",
+    "compact",
+    "conform_to_state",
     "GRANULARITIES",
     "group_reduce_scores",
     "expand_group_mask",

@@ -1,0 +1,342 @@
+"""Physical compaction of structured-pruned residual networks.
+
+A channel-granularity mask zeroes entire output filters, but the masked
+model still convolves every one of them: a 90%-channel-sparse ResNet
+does 100% of the dense FLOPs.  :func:`compact` converts that structure
+into raw speed by **deleting** the dead channels from the fused
+evaluation graph — slicing the producing convolution's weight/bias rows
+and the consuming convolution's input slices — so the surviving GEMMs
+are physically smaller.
+
+Exactness
+---------
+Compaction operates on the *fused* graph (Conv+BN folded, see
+:mod:`repro.nn.fuse`), where a masked-out filter's row is all zeros and
+its output plane is uniformly the folded bias ``b``.  After the block's
+ReLU that plane is the constant ``c = max(b, 0)``, and a channel is
+removable exactly when its contribution downstream is provably the
+masked model's own arithmetic:
+
+* ``c == 0`` (every freshly-initialised BN gives this; trained BNs give
+  it whenever ``beta <= mu * gamma / sigma``): the consumer reads a
+  zero plane, so deleting the channel removes only ``+ 0`` terms.
+* the consumer's weights for that input channel are themselves all
+  zero: the contribution is zero whatever ``c`` is.
+* the consumer is a ``1x1``, stride-1, unpadded convolution (the
+  ``conv3`` of a Bottleneck): a constant input plane contributes the
+  constant ``w_consumer[:, d] * c`` everywhere, which folds *exactly
+  once* into the consumer's bias.
+
+Channels on the residual interface (block outputs, the stem, downsample
+projections) are never touched — their planes feed the skip addition
+and the block's output contract.  Dead channels that clear none of the
+rules are kept and reported (``retained_dead``), so compaction is
+always output-equivalent, never best-effort.
+
+The compacted tree keeps the architecture's module structure (a
+``BasicBlock`` is still a ``BasicBlock``, with its channel attributes
+updated), so :func:`repro.analysis.graph.check_model` verifies it with
+the same handlers as the dense graph, and
+:func:`repro.serve.artifact.export_artifact` can seal it with the
+smaller arrays.  :func:`conform_to_state` is the loader-side inverse:
+it resizes a freshly built fused skeleton to a compacted artifact's
+sealed array shapes before the strict ``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.resnet import BasicBlock, Bottleneck
+from repro.nn.fuse import _parameter_like, fusible_pairs, fuse
+from repro.nn.layers import Conv2d, Identity
+from repro.nn.module import Module
+
+__all__ = [
+    "BlockCompaction",
+    "CompactionReport",
+    "compact",
+    "conform_to_state",
+]
+
+
+@dataclass(frozen=True)
+class BlockCompaction:
+    """What happened to one prunable channel axis (one producing conv)."""
+
+    #: Dotted path of the convolution whose output channels were sliced.
+    path: str
+    #: Channel count before / after slicing.
+    before: int
+    after: int
+    #: Dead channels whose non-zero ReLU constant was folded into the
+    #: consumer's bias (1x1 unpadded consumers only).
+    folded: int
+    #: Dead channels kept because no exactness rule covered them.
+    retained_dead: int
+
+    @property
+    def removed(self) -> int:
+        return self.before - self.after
+
+
+@dataclass
+class CompactionReport:
+    """Per-layer decisions plus whole-model parameter accounting."""
+
+    blocks: List[BlockCompaction] = field(default_factory=list)
+    parameters_before: int = 0
+    parameters_after: int = 0
+
+    def removed_channels(self) -> int:
+        return sum(entry.removed for entry in self.blocks)
+
+    def retained_dead_channels(self) -> int:
+        return sum(entry.retained_dead for entry in self.blocks)
+
+    def parameter_reduction(self) -> float:
+        """Fraction of parameters removed by the compaction pass."""
+        if self.parameters_before == 0:
+            return 0.0
+        return 1.0 - self.parameters_after / self.parameters_before
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able digest, sealed into artifact provenance."""
+        return {
+            "removed_channels": self.removed_channels(),
+            "folded_channels": sum(entry.folded for entry in self.blocks),
+            "retained_dead_channels": self.retained_dead_channels(),
+            "parameters_before": self.parameters_before,
+            "parameters_after": self.parameters_after,
+            "parameter_reduction": round(self.parameter_reduction(), 6),
+            "layers": {
+                entry.path: [entry.before, entry.after]
+                for entry in self.blocks
+                if entry.removed
+            },
+        }
+
+
+def _count_parameters(model: Module) -> int:
+    return sum(parameter.size for _, parameter in model.named_parameters())
+
+
+def _frozen_parameter(array: np.ndarray):
+    parameter = _parameter_like(np.ascontiguousarray(array))
+    parameter.requires_grad = False
+    return parameter
+
+
+def _dead_rows(weight: np.ndarray) -> np.ndarray:
+    """Boolean flags for output channels whose entire kernel is zero."""
+    return ~weight.reshape(weight.shape[0], -1).any(axis=1)
+
+
+def _consumer_slice_zero(weight: np.ndarray) -> np.ndarray:
+    """Flags, per *input* channel of a consumer conv, of all-zero slices."""
+    return ~np.moveaxis(weight, 1, 0).reshape(weight.shape[1], -1).any(axis=1)
+
+
+def _relu_constant(conv: Conv2d) -> np.ndarray:
+    """Per-channel constant a dead filter emits after the block's ReLU."""
+    if conv.bias is None:
+        return np.zeros(conv.out_channels, dtype=conv.weight.data.dtype)
+    return np.maximum(conv.bias.data, 0)
+
+
+def _slice_producer(conv: Conv2d, keep: np.ndarray) -> None:
+    conv.weight = _frozen_parameter(conv.weight.data[keep])
+    if conv.bias is not None:
+        conv.bias = _frozen_parameter(conv.bias.data[keep])
+    conv.out_channels = int(keep.sum())
+
+
+def _slice_consumer(conv: Conv2d, keep: np.ndarray) -> None:
+    conv.weight = _frozen_parameter(conv.weight.data[:, keep])
+    conv.in_channels = int(keep.sum())
+
+
+def _compact_internal_channel(
+    path: str,
+    producer: Conv2d,
+    consumer: Conv2d,
+    *,
+    foldable: bool,
+) -> Optional[BlockCompaction]:
+    """Drop the removable dead output channels of ``producer``.
+
+    ``foldable`` marks consumers that are 1x1/stride-1/unpadded, where a
+    dead channel's non-zero ReLU constant folds exactly into the
+    consumer bias; it is asserted against the consumer's geometry.
+    """
+    weight = producer.weight.data
+    dead = _dead_rows(weight)
+    if not dead.any():
+        return None
+    constant = _relu_constant(producer)
+    zero_slice = _consumer_slice_zero(consumer.weight.data)
+    if foldable:
+        if consumer.kernel_size != 1 or consumer.stride != 1 or consumer.padding != 0:
+            raise ValueError(
+                f"{path}: consumer marked foldable but has geometry "
+                f"k={consumer.kernel_size} s={consumer.stride} p={consumer.padding}"
+            )
+        droppable = dead
+    else:
+        # A non-trivial constant through a padded/strided consumer is
+        # not uniform at the borders; only provably-zero contributions
+        # may go.
+        droppable = dead & ((constant == 0) | zero_slice)
+
+    keep = ~droppable
+    if not keep.any():
+        # A conv with zero output channels cannot execute; keep one
+        # (dead) channel as the degenerate-but-valid representation.
+        keep[0] = True
+        droppable[0] = False
+    if droppable.sum() == 0:
+        # Nothing removable, but the dead channels are still worth
+        # reporting: retained_dead > 0 with zero removals tells the
+        # operator which exactness rule blocked the win.
+        return BlockCompaction(
+            path=path,
+            before=int(weight.shape[0]),
+            after=int(weight.shape[0]),
+            folded=0,
+            retained_dead=int(dead.sum()),
+        )
+
+    folded = 0
+    if foldable and consumer.bias is not None:
+        fold_mask = droppable & (constant != 0) & ~zero_slice
+        folded = int(fold_mask.sum())
+        if folded:
+            taps = consumer.weight.data[:, fold_mask, 0, 0]
+            consumer.bias = _frozen_parameter(
+                consumer.bias.data + taps @ constant[fold_mask]
+            )
+
+    before = int(weight.shape[0])
+    _slice_producer(producer, keep)
+    _slice_consumer(consumer, keep)
+    return BlockCompaction(
+        path=path,
+        before=before,
+        after=int(keep.sum()),
+        folded=folded,
+        retained_dead=int((dead & keep).sum()),
+    )
+
+
+def _is_fused_conv(module: Module, name: str, bn_name: str) -> bool:
+    conv = module._modules.get(name)
+    bn = module._modules.get(bn_name)
+    return isinstance(conv, Conv2d) and isinstance(bn, Identity)
+
+
+def _compact_block(path: str, block: Module) -> List[BlockCompaction]:
+    entries: List[BlockCompaction] = []
+    if isinstance(block, BasicBlock):
+        if _is_fused_conv(block, "conv1", "bn1") and _is_fused_conv(block, "conv2", "bn2"):
+            entry = _compact_internal_channel(
+                f"{path}.conv1", block.conv1, block.conv2, foldable=False
+            )
+            if entry:
+                entries.append(entry)
+    elif isinstance(block, Bottleneck):
+        fused = (
+            _is_fused_conv(block, "conv1", "bn1")
+            and _is_fused_conv(block, "conv2", "bn2")
+            and _is_fused_conv(block, "conv3", "bn3")
+        )
+        if fused:
+            entry = _compact_internal_channel(
+                f"{path}.conv1", block.conv1, block.conv2, foldable=False
+            )
+            if entry:
+                entries.append(entry)
+            entry = _compact_internal_channel(
+                f"{path}.conv2", block.conv2, block.conv3, foldable=True
+            )
+            if entry:
+                entries.append(entry)
+    return entries
+
+
+def compact(
+    model: Module,
+    *,
+    verify_input_shape: Optional[Sequence[int]] = None,
+) -> Tuple[Module, CompactionReport]:
+    """Return an output-equivalent, physically smaller copy of ``model``.
+
+    ``model`` may be a trainable model (it is fused first) or an
+    already-fused evaluation graph (it is deep-copied); either way the
+    input is never mutated.  Only channels *internal* to residual
+    blocks are candidates — the residual interface fixes every other
+    channel count — and only channels covered by an exactness rule (see
+    module docstring) are removed, so the compacted model computes the
+    same function as the masked dense model.
+
+    With ``verify_input_shape`` (a per-sample ``(C, H, W)``), the
+    compacted tree is additionally verified by
+    :func:`repro.analysis.graph.check_model` before it is returned.
+    """
+    if fusible_pairs(model) > 0:
+        work = fuse(model)
+    else:
+        work = copy.deepcopy(model)
+        work.eval()
+        work.requires_grad_(False)
+
+    report = CompactionReport(parameters_before=_count_parameters(work))
+    for path, module in work.named_modules():
+        if isinstance(module, (BasicBlock, Bottleneck)):
+            report.blocks.extend(_compact_block(path, module))
+    report.parameters_after = _count_parameters(work)
+
+    if verify_input_shape is not None:
+        # Imported lazily: repro.analysis pulls in the model zoo, and
+        # the pruning layer must stay importable from the tensor layer
+        # up (same pattern as repro.serve.artifact).
+        from repro.analysis.graph import check_model
+
+        check_model(work, verify_input_shape)
+    return work, report
+
+
+def conform_to_state(model: Module, state: Dict[str, np.ndarray]) -> Module:
+    """Resize ``model``'s convolutions to the shapes ``state`` carries.
+
+    The loader-side counterpart of :func:`compact`: a compacted
+    artifact's sealed arrays are smaller than the freshly built fused
+    skeleton, so each mismatched :class:`Conv2d` is re-dimensioned (and
+    its channel attributes updated) to accept them; the caller's strict
+    ``load_state_dict`` then fills the values and still catches any
+    genuinely incompatible array.  Mismatches that are not pure channel
+    shrinkage are left for ``load_state_dict`` to reject.
+    """
+    for path, module in model.named_modules():
+        if not isinstance(module, Conv2d):
+            continue
+        key = f"{path}.weight" if path else "weight"
+        sealed = state.get(key)
+        if sealed is None or tuple(sealed.shape) == tuple(module.weight.shape):
+            continue
+        if sealed.ndim != 4 or sealed.shape[2:] != tuple(module.weight.shape)[2:]:
+            continue
+        out_channels, in_channels = int(sealed.shape[0]), int(sealed.shape[1])
+        module.weight = _frozen_parameter(
+            np.zeros(sealed.shape, dtype=module.weight.data.dtype)
+        )
+        if module.bias is not None and module.bias.shape != (out_channels,):
+            module.bias = _frozen_parameter(
+                np.zeros(out_channels, dtype=module.bias.data.dtype)
+            )
+        module.out_channels = out_channels
+        module.in_channels = in_channels
+    return model

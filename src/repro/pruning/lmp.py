@@ -83,7 +83,7 @@ class MaskedConv2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         mask = straight_through_topk(self.score, self.keep)
-        effective_weight = self.weight * mask
+        effective_weight = self.weight * mask  # repro: ignore[dense-mask-multiply] -- straight-through estimator must record the multiply on the tape
         return T.conv2d(x, effective_weight, self.bias, stride=self.stride, padding=self.padding)
 
     def current_mask(self) -> np.ndarray:
@@ -104,7 +104,7 @@ class MaskedLinear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         mask = straight_through_topk(self.score, self.keep)
-        effective_weight = self.weight * mask
+        effective_weight = self.weight * mask  # repro: ignore[dense-mask-multiply] -- straight-through estimator must record the multiply on the tape
         out = x.matmul(effective_weight.T)
         if self.bias is not None:
             out = out + self.bias

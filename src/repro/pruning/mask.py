@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.pruning.granularity import GRANULARITIES, expand_group_mask, group_reduce_scores
+from repro.tensor import sparse as _sparse
 
 
 def prunable_parameter_names(
@@ -48,11 +49,17 @@ class PruningMask:
 
     def __init__(self, masks: Dict[str, np.ndarray]) -> None:
         self._masks: Dict[str, np.ndarray] = {}
+        self._all_ones: set = set()
         for name, mask in masks.items():
             array = np.asarray(mask)
             if not np.all((array == 0) | (array == 1)):
                 raise ValueError(f"mask for {name!r} is not binary")
             self._masks[name] = array.astype(np.uint8, copy=False)
+            if array.all():
+                # Recorded once here so the hot ``apply`` path can skip
+                # the multiply for untouched layers without re-scanning
+                # the mask every optimizer step.
+                self._all_ones.add(name)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -156,7 +163,9 @@ class PruningMask:
         The multiply writes into the existing parameter buffer
         (``np.multiply(..., out=...)``): re-applying a mask every
         optimizer step — which the trainer does to stop pruned weights
-        regrowing — allocates nothing.
+        regrowing — allocates nothing.  All-ones masks (common at low
+        sparsity) skip the multiply entirely: it would be a full-tensor
+        read/write that changes no value.
         """
         parameters = dict(model.named_parameters())
         for name, mask in self._masks.items():
@@ -169,15 +178,22 @@ class PruningMask:
                 raise ValueError(
                     f"mask shape {mask.shape} does not match parameter {name!r} shape {parameter.shape}"
                 )
+            if name in self._all_ones:
+                continue
             if parameter.data.flags.writeable:
                 np.multiply(parameter.data, mask, out=parameter.data)
             else:
                 parameter.data = parameter.data * mask
+            # The buffer's sparsity pattern changed in place: any CSR
+            # conversion cached for it no longer matches the bytes.
+            _sparse.invalidate(parameter.data)
 
     def apply_to_gradients(self, model: Module) -> None:
         """Zero out gradients of masked weights (keeps pruned weights at zero)."""
         parameters = dict(model.named_parameters())
         for name, mask in self._masks.items():
+            if name in self._all_ones:
+                continue
             parameter = parameters.get(name)
             if parameter is not None and parameter.grad is not None:
                 if parameter.grad.flags.writeable:

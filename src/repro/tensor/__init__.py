@@ -37,6 +37,11 @@ from repro.tensor.sanitize import (
     sanitize_scope,
     set_sanitize,
 )
+from repro.tensor.sparse import (
+    SparsePolicy,
+    sparse_backend,
+    sparse_policy_scope,
+)
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
 from repro.tensor.functional import (
     batch_norm2d,
@@ -75,6 +80,9 @@ __all__ = [
     "is_sanitize_active",
     "sanitize_scope",
     "set_sanitize",
+    "SparsePolicy",
+    "sparse_backend",
+    "sparse_policy_scope",
     "no_grad",
     "is_grad_enabled",
     "as_tensor",

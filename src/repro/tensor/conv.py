@@ -11,7 +11,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor, as_tensor
+from repro.tensor import sparse as _sparse
+from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled
 
 
 def _pair(value) -> Tuple[int, int]:
@@ -332,7 +333,14 @@ def conv2d(
 
     columns_t, (out_h, out_w) = _im2col_t(x.data, (kernel_h, kernel_w), stride, padding)
     weight_matrix = weight.data.reshape(out_channels, -1)
-    output = weight_matrix @ columns_t  # (C_out, N*out_h*out_w)
+    output = None
+    if not is_grad_enabled() and not weight.requires_grad:
+        # Frozen inference weights (fused/sealed models) may route the
+        # GEMM through the CSR kernel when their sparsity clears the
+        # measured crossover; ``None`` means "run the dense path".
+        output = _sparse.maybe_sparse_gemm(weight_matrix, columns_t)
+    if output is None:
+        output = weight_matrix @ columns_t  # (C_out, N*out_h*out_w)
     if bias is not None:
         # The GEMM output is freshly allocated, so the bias can be added
         # in place without an extra full-size temporary.

@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.tensor import sanitize as _sanitize
+from repro.tensor import sparse as _sparse
 from repro.tensor.dtypes import default_dtype
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -335,7 +336,19 @@ class Tensor:
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Matrix product supporting 2-D operands (and batched left-hand 2-D)."""
         other = as_tensor(other)
-        out_data = self.data @ other.data
+        out_data = None
+        if (
+            not is_grad_enabled()
+            and not other.requires_grad
+            and self.data.ndim == 2
+            and other.data.ndim == 2
+        ):
+            # ``x @ W.T`` with a frozen, heavily pruned right-hand side
+            # (Linear layers of sealed models) may run through the CSR
+            # kernel; ``None`` means the dense path wins.
+            out_data = _sparse.maybe_sparse_rhs_gemm(self.data, other.data)
+        if out_data is None:
+            out_data = self.data @ other.data
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:

@@ -252,6 +252,36 @@ class TestEvalNoGradRule:
         assert rules_hit(source) == set()
 
 
+class TestDenseMaskMultiplyRule:
+    def test_binop_mask_multiply_flagged(self):
+        findings = lint("pruned = weights * mask\n")
+        assert [f.rule for f in findings] == ["dense-mask-multiply"]
+
+    def test_np_multiply_and_attribute_mask_flagged(self):
+        source = """
+            import numpy as np
+            a = np.multiply(weights, self.mask)
+            b = masks[name] * parameter.data
+        """
+        findings = lint(source)
+        assert [f.rule for f in findings] == ["dense-mask-multiply"] * 2
+
+    def test_mask_apply_route_is_clean(self):
+        clean = """
+            def seal(model, mask):
+                mask.apply(model)
+                scale = alpha * beta
+                return scale
+        """
+        assert rules_hit(clean) == set()
+
+    def test_mask_module_and_tensor_engine_are_exempt(self):
+        source = "pruned = weights * mask\n"
+        assert lint(source, "repro/pruning/mask.py") == []
+        assert lint(source, "repro/tensor/functional.py") == []
+        assert rules_hit(source, "repro/pruning/other.py") == {"dense-mask-multiply"}
+
+
 class TestSuppressions:
     def test_reasoned_suppression_silences_exactly_that_rule(self):
         source = (
