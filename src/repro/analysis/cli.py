@@ -55,6 +55,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write findings as a repro-analysis/v1 JSON report",
     )
 
+    links = commands.add_parser(
+        "links", help="check relative links and anchors across the Markdown docs"
+    )
+    links.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="Markdown files to check (default: README.md plus docs/*.md)",
+    )
+
     check = commands.add_parser(
         "check", help="statically verify registry models (shapes, dtypes, BN channels)"
     )
@@ -82,6 +92,27 @@ def _run_lint(arguments: argparse.Namespace) -> int:
         print(f"{len(findings)} finding(s) from {rule_count} rules")
         return 1 if arguments.strict else 0
     print(f"clean: 0 findings from {rule_count} rules")
+    return 0
+
+
+def _run_links(arguments: argparse.Namespace) -> int:
+    from repro.analysis.links import check_links, default_doc_paths
+
+    paths = arguments.paths if arguments.paths else default_doc_paths()
+    if not paths:
+        print("no Markdown files to check")
+        return 1
+    problems, checked, skipped = check_links(paths)
+    for problem in problems:
+        print(f"{problem.location()}: broken-link: {problem.target}: {problem.message}")
+    summary = (
+        f"{len(paths)} file(s), {checked} relative link(s) checked, "
+        f"{skipped} external link(s) skipped"
+    )
+    if problems:
+        print(f"{len(problems)} broken link(s) — {summary}")
+        return 1
+    print(f"clean: {summary}")
     return 0
 
 
@@ -115,6 +146,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = _build_parser().parse_args(list(argv) if argv is not None else None)
     if arguments.command == "lint":
         return _run_lint(arguments)
+    if arguments.command == "links":
+        return _run_links(arguments)
     return _run_check(arguments)
 
 

@@ -1,0 +1,200 @@
+"""Markdown link checker for the repo's documentation set.
+
+``python -m repro.analysis links`` walks the Markdown docs (default:
+``README.md`` plus ``docs/*.md``), extracts every inline link and
+image, and verifies the **relative** ones: the target file must exist
+on disk, and a ``#fragment`` must name a real heading in the target
+(GitHub anchor slugging, including the ``-1``/``-2`` suffixes of
+duplicate headings).  External ``http(s)``/``mailto`` links are *not*
+fetched — CI must stay hermetic — so they are reported as skipped, not
+verified.
+
+The CI ``docs-gate`` job runs this next to ``repro.obs doc --check``:
+between them, the metrics reference cannot drift from the registry and
+the operator docs cannot silently rot into 404s when a file or heading
+is renamed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import urllib.parse
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = [
+    "LinkProblem",
+    "check_links",
+    "default_doc_paths",
+    "heading_anchors",
+    "markdown_links",
+    "slugify",
+]
+
+#: Inline Markdown link or image: ``[text](target)`` / ``![alt](target)``.
+#: Nested brackets in the text (one level, e.g. ``[![badge](...)](...)``)
+#: are tolerated; targets never contain an unescaped ``)``.
+_LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+
+_FENCE_RE = re.compile(r"^(```|~~~)")
+
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Characters GitHub keeps when slugging a heading (besides spaces and
+#: hyphens, which become/stay hyphens).
+_SLUG_KEEP_RE = re.compile(r"[^0-9a-zÀ-￿ \-_]")
+
+_CODE_SPAN_RE = re.compile(r"`([^`]*)`")
+
+
+@dataclass(frozen=True, order=True)
+class LinkProblem:
+    """One broken link: a missing target file or an unknown anchor."""
+
+    path: str
+    line: int
+    target: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+def slugify(heading: str) -> str:
+    """The GitHub anchor slug of a rendered heading line.
+
+    Inline code spans render without their backticks before slugging,
+    which is why ``## Chaos drills (`REPRO_CHAOS`)`` anchors as
+    ``#chaos-drills-repro_chaos``.
+    """
+    text = _CODE_SPAN_RE.sub(r"\1", heading.strip())
+    # Strip the other inline markers GitHub renders away.
+    text = text.replace("*", "").replace("[", "").replace("]", "")
+    text = text.lower()
+    text = _SLUG_KEEP_RE.sub("", text)
+    return text.replace(" ", "-")
+
+
+def _fenced_mask(lines: Sequence[str]) -> List[bool]:
+    """``mask[i]`` is True when line ``i`` sits inside a code fence."""
+    mask: List[bool] = []
+    in_fence = False
+    fence_marker = ""
+    for line in lines:
+        match = _FENCE_RE.match(line.strip())
+        if match and not in_fence:
+            in_fence, fence_marker = True, match.group(1)
+            mask.append(True)
+        elif match and in_fence and match.group(1) == fence_marker:
+            in_fence = False
+            mask.append(True)
+        else:
+            mask.append(in_fence)
+    return mask
+
+
+def heading_anchors(markdown: str) -> Set[str]:
+    """Every anchor a Markdown document exposes, duplicate-suffixed."""
+    lines = markdown.splitlines()
+    fenced = _fenced_mask(lines)
+    seen: Dict[str, int] = {}
+    anchors: Set[str] = set()
+    for line, hidden in zip(lines, fenced):
+        if hidden:
+            continue
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def markdown_links(markdown: str) -> List[Tuple[int, str]]:
+    """``(1-indexed line, target)`` for every inline link outside fences."""
+    lines = markdown.splitlines()
+    fenced = _fenced_mask(lines)
+    found: List[Tuple[int, str]] = []
+    for number, (line, hidden) in enumerate(zip(lines, fenced), start=1):
+        if hidden:
+            continue
+        for match in _LINK_RE.finditer(line):
+            found.append((number, match.group(1)))
+    return found
+
+
+def default_doc_paths(root: str = ".") -> List[str]:
+    """The committed documentation set: ``README.md`` + ``docs/*.md``."""
+    paths: List[str] = []
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        paths.append(readme)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                paths.append(os.path.join(docs_dir, name))
+    return paths
+
+
+def _is_external(target: str) -> bool:
+    scheme = urllib.parse.urlsplit(target).scheme
+    return scheme not in ("", "file")
+
+
+def check_links(paths: Iterable[str]) -> Tuple[List[LinkProblem], int, int]:
+    """Check every relative link in ``paths``.
+
+    Returns ``(problems, checked, skipped_external)``.  Anchors of each
+    referenced document are computed once and cached across links.
+    """
+    anchor_cache: Dict[str, Set[str]] = {}
+
+    def anchors_of(path: str) -> Set[str]:
+        key = os.path.abspath(path)
+        if key not in anchor_cache:
+            with open(path, "r", encoding="utf-8") as handle:
+                anchor_cache[key] = heading_anchors(handle.read())
+        return anchor_cache[key]
+
+    problems: List[LinkProblem] = []
+    checked = 0
+    skipped = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            markdown = handle.read()
+        base = os.path.dirname(os.path.abspath(path))
+        for line, target in markdown_links(markdown):
+            if _is_external(target):
+                skipped += 1
+                continue
+            checked += 1
+            file_part, _, fragment = target.partition("#")
+            file_part = urllib.parse.unquote(file_part)
+            if file_part:
+                resolved = os.path.normpath(os.path.join(base, file_part))
+                if not os.path.exists(resolved):
+                    problems.append(
+                        LinkProblem(path, line, target, f"missing file: {file_part}")
+                    )
+                    continue
+            else:
+                resolved = path
+            if fragment:
+                if os.path.isdir(resolved) or not resolved.endswith(".md"):
+                    # Anchors into directories/non-Markdown are beyond
+                    # this checker; existence was already verified.
+                    continue
+                if fragment.lower() not in anchors_of(resolved):
+                    problems.append(
+                        LinkProblem(
+                            path,
+                            line,
+                            target,
+                            f"unknown anchor #{fragment} in {os.path.relpath(resolved)}",
+                        )
+                    )
+    return sorted(problems), checked, skipped

@@ -618,6 +618,63 @@ class DenseMaskMultiplyRule(Rule):
         return name if "mask" in name.lower() else None
 
 
+class AdhocMetricsRule(Rule):
+    """Instrumented modules go through the metrics registry, not ad hoc.
+
+    The modules that :mod:`repro.obs` documents as instrumented (the
+    serving stack, the fleet supervisor, the sweep runner and stores)
+    must not grow side-channel telemetry: a hand-rolled counter dict
+    (``self._stats["crashes"] += 1``) is invisible to ``/metrics`` and
+    un-mergeable across shards, and a raw ``time.time()`` latency
+    sample bypasses the histogram buckets the operations story reads
+    percentiles from.  Declare an instrument in the module's registry
+    block instead; ``stats()`` readers derive from instruments.
+    """
+
+    id = "adhoc-metrics"
+    summary = "hand-rolled counter or wall-clock sample in an instrumented module"
+
+    #: Files whose telemetry is registry-backed — the path twins of
+    #: :data:`repro.obs.docgen.INSTRUMENTED_MODULES`.
+    SCOPES = (
+        "repro/serve/batching.py",
+        "repro/serve/engine.py",
+        "repro/serve/store.py",
+        "repro/serve/http.py",
+        "repro/serve/fleet/supervisor.py",
+        "repro/serve/fleet/worker.py",
+        "repro/core/parallel.py",
+        "repro/core/cache.py",
+        "repro/core/runstore.py",
+    )
+
+    #: ``self.<attr>`` containers that smell like a counter table.
+    COUNTER_ATTRS = {"stats", "_stats", "counters", "_counters", "metrics_dict"}
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if context.module_path not in self.SCOPES:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call) and _attribute_chain(node.func) == "time.time":
+                yield self.finding(
+                    context,
+                    node,
+                    "time.time() in an instrumented module; record latency "
+                    "through a registry histogram (or time.perf_counter for "
+                    "control flow)",
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Subscript):
+                attribute = _self_attribute_root(node.target)
+                if attribute in self.COUNTER_ATTRS:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"hand-rolled counter self.{attribute}[...] in an "
+                        "instrumented module; declare a registry counter so "
+                        "/metrics and merge_snapshots see it",
+                    )
+
+
 #: The shipped rule set, in reporting order.
 ALL_RULES: Tuple[Rule, ...] = (
     DtypeLiteralRule(),
@@ -627,6 +684,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     BenchWallclockRule(),
     EvalNoGradRule(),
     DenseMaskMultiplyRule(),
+    AdhocMetricsRule(),
 )
 
 

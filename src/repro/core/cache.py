@@ -34,8 +34,19 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.tickets import Ticket
+from repro.obs.registry import default_registry
 from repro.training.pretrain import PretrainResult
 from repro.utils.checkpoint import load_state_dict, save_state_dict, staging_path
+
+_REGISTRY = default_registry()
+_M_CACHE_HITS = _REGISTRY.counter(
+    "sweep_cache_hits_total", "Sweep-cache reads served from disk.", labels=("kind",)
+)
+_M_CACHE_MISSES = _REGISTRY.counter(
+    "sweep_cache_misses_total",
+    "Sweep-cache reads that missed (absent or corrupt entry).",
+    labels=("kind",),
+)
 
 #: Environment variable the benchmark harness reads the cache root from.
 #: Set it to an empty string to disable caching entirely.
@@ -81,13 +92,17 @@ class SweepCache:
     def _load(self, kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
         path = self._path(kind, key)
         if not os.path.exists(path):
+            _M_CACHE_MISSES.labelled(kind=kind).inc()
             return None
         try:
-            return load_state_dict(path)
+            payload = load_state_dict(path)
         except (OSError, ValueError, KeyError):
             # A corrupt/truncated entry is treated as a miss; it will be
             # overwritten by the fresh result.
+            _M_CACHE_MISSES.labelled(kind=kind).inc()
             return None
+        _M_CACHE_HITS.labelled(kind=kind).inc()
+        return payload
 
     # ------------------------------------------------------------------
     # Pretrained backbones
@@ -146,8 +161,12 @@ class SweepCache:
         """Fetch a cached :class:`Ticket`, or ``None`` on a miss."""
         path = self._path("ticket", key)
         if not os.path.exists(path):
+            _M_CACHE_MISSES.labelled(kind="ticket").inc()
             return None
         try:
-            return Ticket.load(path)
+            ticket = Ticket.load(path)
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            _M_CACHE_MISSES.labelled(kind="ticket").inc()
             return None
+        _M_CACHE_HITS.labelled(kind="ticket").inc()
+        return ticket

@@ -34,13 +34,27 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, TypeVar
 
+from repro.obs.registry import default_registry
+
 #: Environment variable supplying the default worker count for sweep
 #: execution (the experiments CLI reads it when ``--workers`` is absent).
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+_REGISTRY = default_registry()
+_M_POINTS = _REGISTRY.counter(
+    "sweep_points_total", "Distinct sweep points evaluated (parent process)."
+)
+_M_RATE = _REGISTRY.gauge(
+    "sweep_points_per_s", "Throughput of the most recent sweep map.", unit="points/s"
+)
+_M_FALLBACKS = _REGISTRY.counter(
+    "sweep_pool_fallbacks_total", "Sweeps that degraded from a worker pool to the serial path."
+)
 
 Point = TypeVar("Point")
 Result = TypeVar("Result")
@@ -157,10 +171,15 @@ class SweepRunner:
             distinct = points
             position = None
 
+        begin = time.perf_counter()
         if self.workers <= 1 or len(distinct) <= 1:
             results = [fn(point) for point in distinct]
         else:
             results = self._map_parallel(fn, distinct)
+        elapsed = time.perf_counter() - begin
+        _M_POINTS.inc(len(distinct))
+        if elapsed > 0:
+            _M_RATE.set(len(distinct) / elapsed)
 
         if position is None:
             return results
@@ -191,6 +210,7 @@ class SweepRunner:
                 error,
                 len(points),
             )
+            _M_FALLBACKS.inc()
             return [fn(point) for point in points]
 
 

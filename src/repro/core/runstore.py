@@ -39,6 +39,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.cache import config_hash, staging_path
+from repro.obs.registry import default_registry
 
 #: Bump to key every run into fresh directories after an incompatible change.
 RUN_STORE_VERSION = 1
@@ -113,6 +114,22 @@ def run_key(experiment: str, scale) -> RunKey:
     return RunKey(experiment=experiment, scale=scale.name, config_hash=config_hash(payload))
 
 
+_REGISTRY = default_registry()
+_M_STORE_HITS = _REGISTRY.counter(
+    "runstore_hits_total", "Point reads answered from the run store."
+)
+_M_STORE_MISSES = _REGISTRY.counter(
+    "runstore_misses_total", "Point reads that found no stored row."
+)
+_M_STORE_PUTS = _REGISTRY.counter(
+    "runstore_puts_total", "Point rows checkpointed to the run store."
+)
+_M_RESUME_SKIPS = _REGISTRY.counter(
+    "runstore_resume_skips_total",
+    "Completed points loaded at sweep start instead of recomputed.",
+)
+
+
 class RunStore:
     """Append-only directory store of completed ``(run, point) -> row``."""
 
@@ -145,11 +162,17 @@ class RunStore:
     def put(self, key: RunKey, point: Tuple, row: Dict[str, Any]) -> str:
         """Checkpoint one completed point's row; atomic, last writer wins."""
         payload = {"point": jsonify(list(point)), "row": jsonify_row(row)}
+        _M_STORE_PUTS.inc()
         return self._write_json(self._point_path(key, point), payload)
 
     def get(self, key: RunKey, point: Tuple) -> Optional[Dict[str, Any]]:
         """The stored row for ``point``, or ``None`` on a miss."""
-        return self._read_row(self._point_path(key, point))
+        row = self._read_row(self._point_path(key, point))
+        if row is None:
+            _M_STORE_MISSES.inc()
+        else:
+            _M_STORE_HITS.inc()
+        return row
 
     def load(self, key: RunKey) -> Dict[Tuple, Dict[str, Any]]:
         """Every completed point of the run, as ``{point: row}``."""
@@ -167,6 +190,7 @@ class RunStore:
             point, row = payload.get("point"), payload.get("row")
             if isinstance(point, list) and isinstance(row, dict):
                 completed[tuple(point)] = dict(row)
+        _M_RESUME_SKIPS.inc(len(completed))
         return completed
 
     def _read_json(self, path: str) -> Optional[Dict[str, Any]]:

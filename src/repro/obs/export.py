@@ -1,0 +1,85 @@
+"""Snapshot exposition: ``repro-metrics/v1`` JSON and Prometheus text.
+
+The HTTP frontend serves both from the same
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` dict — JSON by
+default (machine consumers, tests, the fleet's shard-merge path) and
+the Prometheus text exposition format when the client asks for it
+(``GET /metrics?format=prom`` or an ``Accept: text/plain`` header), so
+a stock Prometheus scraper can point at a frontend unmodified.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.registry import METRICS_FORMAT
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_json", "render_prometheus"]
+
+#: Content type of the text exposition (format 0.0.4, the scrape default).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """The snapshot as canonical ``repro-metrics/v1`` JSON text."""
+    if snapshot.get("format") != METRICS_FORMAT:
+        raise ValueError(f"snapshot is not {METRICS_FORMAT}: {snapshot.get('format')!r}")
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _label_pairs(labels: Dict[str, str], extra: Iterable[tuple] = ()) -> str:
+    pairs = [*sorted(labels.items()), *extra]
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(key, str(value).replace("\\", r"\\").replace('"', r"\""))
+        for key, value in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _number(value: Any) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """The snapshot in the Prometheus text exposition format.
+
+    Histograms render the standard cumulative ``_bucket`` series (with
+    the implicit ``+Inf`` bucket) plus ``_sum`` and ``_count``;
+    interpolated quantiles are a JSON-side readout and are not exposed
+    here — a scraper derives its own from the buckets.
+    """
+    if snapshot.get("format") != METRICS_FORMAT:
+        raise ValueError(f"snapshot is not {METRICS_FORMAT}: {snapshot.get('format')!r}")
+    lines: List[str] = []
+    typed: set = set()
+    for instrument in snapshot.get("instruments", []):
+        name = instrument["name"]
+        kind = instrument["kind"]
+        labels = instrument.get("labels", {})
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_label_pairs(labels)} {_number(instrument['value'])}")
+            continue
+        buckets = instrument["buckets"]
+        cumulative = 0
+        for bound, count in zip(buckets["le"], buckets["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket{_label_pairs(labels, [('le', _number(bound))])} {cumulative}"
+            )
+        cumulative += buckets["counts"][-1] if len(buckets["counts"]) > len(buckets["le"]) else 0
+        lines.append(f"{name}_bucket{_label_pairs(labels, [('le', '+Inf')])} {cumulative}")
+        lines.append(f"{name}_sum{_label_pairs(labels)} {_number(instrument['sum'])}")
+        lines.append(f"{name}_count{_label_pairs(labels)} {instrument['count']}")
+    return "\n".join(lines) + "\n"

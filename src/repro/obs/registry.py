@@ -1,0 +1,661 @@
+"""The structured metrics registry: counters, gauges, and histograms.
+
+Every long-lived subsystem of the repo — the serving scheduler, the
+model store, the fleet supervisor, the sweep dispatcher — records into
+instruments declared here.  The design follows the Prometheus client
+model:
+
+* an **instrument family** is declared once, at module import time,
+  with a stable name, a kind, the label *names* it may carry, and the
+  owning module (``python -m repro.obs doc`` generates the committed
+  metrics reference from exactly these declarations, so an instrument
+  that exists in code always exists in the docs);
+* a **child** is one concrete time series: the family bound to label
+  *values* (``serve_requests_total{model="resnet18"}``).  Children are
+  created on first use and cached, so hot paths hold direct references
+  and recording is one lock + one arithmetic op;
+* a **snapshot** is an atomic read of every child — counters and the
+  histogram buckets next to them always describe the same moment — and
+  is pure data (JSON-safe), so it can cross a process boundary (the
+  fleet supervisor merges per-shard snapshots with
+  :func:`merge_snapshots`).
+
+Histograms use **fixed bucket boundaries** declared with the family;
+p50/p95/p99 are interpolated from the bucket counts at read time and
+clamped to the exact observed min/max (so a single-sample histogram
+reports that sample, and an empty one reports ``None``, never a fake
+``0.0``).
+
+**Zero overhead when unused**: a disabled registry (construct with
+``enabled=False``, or set ``REPRO_METRICS=0`` for the process default)
+still records every *declaration* — the docs stay complete — but hands
+out shared no-op children, so instrumented hot paths pay one empty
+method call and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "METRICS_ENV_VAR",
+    "METRICS_FORMAT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentFamily",
+    "MetricsRegistry",
+    "default_registry",
+    "merge_snapshots",
+    "metrics_enabled",
+    "percentiles_from_buckets",
+]
+
+#: Format tag stamped into every snapshot (and required when merging).
+METRICS_FORMAT = "repro-metrics/v1"
+
+#: Set to ``0``/``off``/``false`` to disable the process-default
+#: registry: declarations still register (docs stay complete) but every
+#: record call becomes a shared no-op.
+METRICS_ENV_VAR = "REPRO_METRICS"
+
+#: Default histogram boundaries for latencies, in seconds: 100 µs to
+#: 30 s, roughly 2.5x apart.  Wide enough for a micro-batch coalesce
+#: (sub-ms) and a cold fleet respawn (seconds) on one scale.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: The instrument kinds a family may declare.
+KINDS = ("counter", "gauge", "histogram")
+
+_QUANTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
+
+
+def metrics_enabled() -> bool:
+    """Whether the process-default registry records (``REPRO_METRICS``)."""
+    value = os.environ.get(METRICS_ENV_VAR, "").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def percentiles_from_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    minimum: Optional[float],
+    maximum: Optional[float],
+) -> Dict[str, Optional[float]]:
+    """p50/p95/p99 interpolated from fixed-bucket counts.
+
+    ``counts`` has ``len(bounds) + 1`` entries (the last is the
+    overflow bucket beyond the final boundary).  Values are linearly
+    interpolated inside their bucket and clamped to the observed
+    ``[minimum, maximum]``, so a single sample reads back exactly and
+    boundary samples never escape their bucket.  An empty histogram
+    reports ``None`` for every quantile — absence of data is not 0.0.
+    """
+    total = sum(counts)
+    if not total or minimum is None or maximum is None:
+        return {key: None for _, key in _QUANTILES}
+    result: Dict[str, Optional[float]] = {}
+    for percent, key in _QUANTILES:
+        target = total * (percent / 100.0)
+        cumulative = 0.0
+        value = maximum
+        for index, count in enumerate(counts):
+            if not count:
+                continue
+            if cumulative + count >= target:
+                lower = bounds[index - 1] if index > 0 else minimum
+                upper = bounds[index] if index < len(bounds) else maximum
+                fraction = (target - cumulative) / count
+                value = lower + fraction * (upper - lower)
+                break
+            cumulative += count
+        result[key] = min(max(value, minimum), maximum)
+    return result
+
+
+class _Child:
+    """Base of one concrete time series: identity plus its own lock."""
+
+    __slots__ = ("labels", "_lock")
+
+    def __init__(self, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.labels = labels
+        self._lock = threading.Lock()
+
+
+class Counter(_Child):
+    """A monotonically increasing count (requests, evictions, faults)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        super().__init__(labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount}) is a gauge's job")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def read(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge(_Child):
+    """A value that goes both ways (queue depth, resident engines)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        super().__init__(labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (high-water marks like reroute depth)."""
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def read(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(_Child):
+    """Fixed-bucket distribution with exact min/max and quantile readout."""
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(
+        self,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> None:
+        super().__init__(labels)
+        self.bounds = tuple(float(bound) for bound in bounds)
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"histogram bounds must be strictly increasing, got {bounds!r}")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return  # a NaN sample would poison sum and quantiles forever
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the block's duration in seconds."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def read(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            payload: Dict[str, Any] = {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "buckets": {"le": list(self.bounds), "counts": counts},
+            }
+            minimum, maximum = self._min, self._max
+        payload.update(percentiles_from_buckets(self.bounds, counts, minimum, maximum))
+        return payload
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+            self._min = None
+            self._max = None
+
+
+class _HistogramTimer:
+    __slots__ = ("_histogram", "_begin")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._begin = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._begin)
+
+
+class _NullChild:
+    """Shared no-op child handed out by a disabled registry.
+
+    Accepts every recording call of every kind and does nothing, so an
+    instrumented hot path pays exactly one empty method call when
+    metrics are off.
+    """
+
+    __slots__ = ()
+    labels: Tuple[Tuple[str, str], ...] = ()
+    bounds: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullChild":
+        return self
+
+    def __enter__(self) -> "_NullChild":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def read(self) -> Dict[str, Any]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+_NULL_CHILD = _NullChild()
+
+_CHILD_TYPES: Dict[str, Callable[..., _Child]] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+
+
+class InstrumentFamily:
+    """One declared instrument: name, kind, label names, docs metadata.
+
+    A family with no label names *is* its single child: calling
+    ``inc``/``set``/``observe``/``time`` on it records directly.  A
+    labelled family hands out children via :meth:`labelled`, cached per
+    label-value tuple so hot paths resolve their child once.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        unit: str,
+        owner: str,
+        bounds: Optional[Sequence[float]],
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.unit = unit
+        self.owner = owner
+        self.bounds = tuple(bounds) if bounds is not None else None
+        self._children: Dict[Tuple[Tuple[str, str], ...], _Child] = {}
+        self._lock = threading.Lock()
+
+    def describe(self) -> Dict[str, Any]:
+        """The declaration, as the generated metrics reference renders it."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labels": list(self.label_names),
+            "unit": self.unit,
+            "owner": self.owner,
+        }
+        if self.kind == "histogram":
+            payload["buckets"] = list(self.bounds or DEFAULT_LATENCY_BUCKETS_S)
+        return payload
+
+    def labelled(self, **labels: str):
+        """The child carrying exactly this family's label names."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"instrument {self.name!r} declares labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        if not self.registry.enabled:
+            return _NULL_CHILD
+        key = tuple((name, str(labels[name])) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(key, bounds=self.bounds or DEFAULT_LATENCY_BUCKETS_S)
+                else:
+                    child = _CHILD_TYPES[self.kind](key)
+                self._children[key] = child
+        return child
+
+    def children(self) -> List[_Child]:
+        with self._lock:
+            return list(self._children.values())
+
+    # ------------------------------------------------------------------
+    # Unlabelled convenience: the family acts as its single child.
+    # ------------------------------------------------------------------
+    def _solo(self):
+        if self.label_names:
+            raise ValueError(
+                f"instrument {self.name!r} is labelled {self.label_names}; "
+                "bind values with .labelled(...) first"
+            )
+        return self.labelled()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_max(self, value: float) -> None:
+        self._solo().set_max(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def time(self):
+        return self._solo().time()
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+
+class MetricsRegistry:
+    """Named instrument families with atomic snapshot-on-read.
+
+    Declaring the same name twice returns the original family when the
+    declarations agree (modules re-import freely) and raises when they
+    conflict — two subsystems cannot silently share a name meaning
+    different things.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._families: Dict[str, InstrumentFamily] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+    def _declare(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        unit: str,
+        owner: Optional[str],
+        bounds: Optional[Sequence[float]] = None,
+    ) -> InstrumentFamily:
+        if not name or any(ch in name for ch in " {}\"'\n"):
+            raise ValueError(f"instrument name must be exposition-safe, got {name!r}")
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+        if owner is None:
+            import sys
+
+            owner = sys._getframe(2).f_globals.get("__name__", "?")
+        label_names = tuple(labels)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if (
+                    existing.kind != kind
+                    or existing.label_names != label_names
+                    or (bounds is not None and existing.bounds != tuple(bounds))
+                ):
+                    raise ValueError(
+                        f"instrument {name!r} already declared as {existing.kind} "
+                        f"with labels {existing.label_names} by {existing.owner}"
+                    )
+                return existing
+            family = InstrumentFamily(self, name, kind, help, label_names, unit, owner, bounds)
+            self._families[name] = family
+        if not label_names and self.enabled:
+            # An unlabelled instrument exports from declaration (at zero /
+            # empty), Prometheus-client style; labelled families wait for
+            # their first concrete label values.
+            family.labelled()
+        return family
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        unit: str = "",
+        owner: Optional[str] = None,
+    ) -> InstrumentFamily:
+        return self._declare(name, "counter", help, labels, unit, owner)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        unit: str = "",
+        owner: Optional[str] = None,
+    ) -> InstrumentFamily:
+        return self._declare(name, "gauge", help, labels, unit, owner)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        unit: str = "s",
+        owner: Optional[str] = None,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> InstrumentFamily:
+        return self._declare(name, "histogram", help, labels, unit, owner, bounds=bounds)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def families(self) -> List[InstrumentFamily]:
+        """Every declared family, name-sorted (docs and snapshots agree)."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Every declaration — complete even when the registry is disabled."""
+        return [family.describe() for family in self.families()]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every child's current value as one ``repro-metrics/v1`` dict.
+
+        Instruments appear sorted by ``(name, labels)``; each entry is
+        read under its own lock, so counters and the histogram buckets
+        beside them are mutually consistent per instrument.  The result
+        is pure JSON-safe data, fit to cross a process boundary.
+        """
+        instruments: List[Dict[str, Any]] = []
+        for family in self.families():
+            children = sorted(family.children(), key=lambda child: child.labels)
+            for child in children:
+                entry: Dict[str, Any] = {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "labels": dict(child.labels),
+                    "unit": family.unit,
+                }
+                entry.update(child.read())
+                instruments.append(entry)
+        return {"format": METRICS_FORMAT, "instruments": instruments}
+
+    def value(self, name: str, **labels: str) -> float:
+        """Convenience read of one counter/gauge child (0.0 if unborn)."""
+        with self._lock:
+            family = self._families.get(name)
+        if family is None or not self.enabled:
+            return 0.0
+        key = tuple((label, str(labels[label])) for label in family.label_names)
+        for child in family.children():
+            if child.labels == key:
+                return child.value
+        return 0.0
+
+    def reset(self) -> None:
+        """Zero every child (test isolation; never call on a live server)."""
+        for family in self.families():
+            for child in family.children():
+                child.reset()
+
+
+def _merge_instrument(target: Dict[str, Any], extra: Dict[str, Any]) -> None:
+    kind = target["kind"]
+    if kind in ("counter", "gauge"):
+        target["value"] = float(target.get("value", 0.0)) + float(extra.get("value", 0.0))
+        return
+    bounds = target["buckets"]["le"]
+    if extra["buckets"]["le"] != bounds:
+        raise ValueError(
+            f"cannot merge histogram {target['name']!r}: bucket bounds differ across snapshots"
+        )
+    target["buckets"]["counts"] = [
+        a + b for a, b in zip(target["buckets"]["counts"], extra["buckets"]["counts"])
+    ]
+    target["count"] = int(target.get("count", 0)) + int(extra.get("count", 0))
+    target["sum"] = float(target.get("sum", 0.0)) + float(extra.get("sum", 0.0))
+    for key, pick in (("min", min), ("max", max)):
+        values = [value for value in (target.get(key), extra.get(key)) if value is not None]
+        target[key] = pick(values) if values else None
+    target.update(
+        percentiles_from_buckets(
+            bounds, target["buckets"]["counts"], target.get("min"), target.get("max")
+        )
+    )
+
+
+def merge_snapshots(*snapshots: Dict[str, Any]) -> Dict[str, Any]:
+    """Aggregate ``repro-metrics/v1`` snapshots from several processes.
+
+    Counters and gauges sum (a fleet's queue depth is the sum of its
+    shards'); histograms sum bucket-by-bucket and re-derive their
+    quantiles, so a merged p99 reflects every process's samples.  The
+    result is schema-identical to a single-process snapshot — the
+    ``/metrics`` contract does not change shape behind a fleet.
+    """
+    merged: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        if not isinstance(snapshot, dict) or snapshot.get("format") != METRICS_FORMAT:
+            raise ValueError(f"not a {METRICS_FORMAT} snapshot: {type(snapshot).__name__}")
+        for instrument in snapshot.get("instruments", []):
+            key = (instrument["name"], tuple(sorted(instrument.get("labels", {}).items())))
+            existing = merged.get(key)
+            if existing is None:
+                # Deep-enough copy: merging must never mutate an input
+                # snapshot another reader still holds.
+                clone = dict(instrument)
+                if "buckets" in clone:
+                    clone["buckets"] = {
+                        "le": list(clone["buckets"]["le"]),
+                        "counts": list(clone["buckets"]["counts"]),
+                    }
+                merged[key] = clone
+            else:
+                _merge_instrument(existing, instrument)
+    instruments = [merged[key] for key in sorted(merged)]
+    return {"format": METRICS_FORMAT, "instruments": instruments}
+
+
+#: The process-default registry every instrumented module declares into.
+_DEFAULT = MetricsRegistry(enabled=metrics_enabled())
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (``REPRO_METRICS=0`` disables recording)."""
+    return _DEFAULT

@@ -1,0 +1,100 @@
+"""Admission rate limiting for the serving frontend.
+
+A :class:`RateLimiter` holds one token bucket per model (plus an
+optional default applied to models without their own limit) and is
+consulted by the HTTP frontend *at admission*, before a request touches
+either backend — so limits behave identically for the in-process engine
+and the fleet.  A depleted bucket answers ``429`` with a ``Retry-After``
+hint and ``retryable: true``, which
+:class:`~repro.serve.client.HTTPClient` honours in its retry loop.
+
+Buckets refill continuously: a limit of ``rate_per_s`` admits that many
+requests per second sustained, with bursts up to ``burst`` (default:
+``ceil(rate_per_s)``, minimum 1).  Limits are mutable at runtime via
+``POST /models/{name}/ratelimit`` — the operator can squeeze a noisy
+tenant without restarting the server.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["RateLimit", "RateLimiter"]
+
+
+class RateLimit:
+    """One token bucket: ``rate_per_s`` sustained, ``burst`` peak."""
+
+    __slots__ = ("rate_per_s", "burst", "_tokens", "_updated", "_lock")
+
+    def __init__(self, rate_per_s: float, burst: Optional[int] = None) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst) if burst is not None else max(1, math.ceil(rate_per_s))
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._tokens = float(self.burst)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def allow(self) -> Tuple[bool, float]:
+        """Take one token if available; else ``(False, retry_after_s)``."""
+        now = time.monotonic()
+        with self._lock:
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._updated) * self.rate_per_s
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - self._tokens) / self.rate_per_s
+
+    def describe(self) -> Dict[str, float]:
+        return {"rate_per_s": self.rate_per_s, "burst": self.burst}
+
+
+class RateLimiter:
+    """Per-model :class:`RateLimit` table with an optional default.
+
+    A model's own limit wins over the default; a model with neither is
+    unlimited.  ``set_limit(name, None)`` clears a per-model limit (the
+    default, if any, applies again).
+    """
+
+    def __init__(self, default: Optional[RateLimit] = None) -> None:
+        self._default = default
+        self._limits: Dict[str, RateLimit] = {}
+        self._lock = threading.Lock()
+
+    def set_limit(
+        self, name: str, rate_per_s: Optional[float], burst: Optional[int] = None
+    ) -> Optional[Dict[str, float]]:
+        """Install (or clear, with ``rate_per_s=None``) ``name``'s limit."""
+        if rate_per_s is None:
+            with self._lock:
+                self._limits.pop(name, None)
+            return None
+        limit = RateLimit(rate_per_s, burst)
+        with self._lock:
+            self._limits[name] = limit
+        return limit.describe()
+
+    def admit(self, name: str) -> Tuple[bool, float]:
+        """Whether one request for ``name`` may pass right now."""
+        with self._lock:
+            limit = self._limits.get(name, self._default)
+        if limit is None:
+            return True, 0.0
+        return limit.allow()
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "default": self._default.describe() if self._default is not None else None,
+                "models": {name: limit.describe() for name, limit in self._limits.items()},
+            }

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.registry import default_registry
 from repro.tensor.dtypes import ACCUMULATION_DTYPE
 
 __all__ = ["BatchingConfig", "BatchStats", "MicroBatcher", "QueueFullError"]
@@ -46,6 +47,36 @@ __all__ = ["BatchingConfig", "BatchStats", "MicroBatcher", "QueueFullError"]
 #: computed over the most recent window, so a long-lived server reports
 #: current behaviour rather than its lifetime average.
 LATENCY_WINDOW = 2048
+
+_REGISTRY = default_registry()
+_M_QUEUE_DEPTH = _REGISTRY.gauge(
+    "serve_batch_queue_depth", "Requests queued ahead of the scheduler right now.", unit="requests"
+)
+_M_OCCUPANCY = _REGISTRY.histogram(
+    "serve_batch_occupancy_rows",
+    "Rows coalesced into each flushed batch window.",
+    unit="rows",
+    bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+)
+_M_COALESCE = _REGISTRY.histogram(
+    "serve_batch_coalesce_latency_s",
+    "Per-request submit-to-result latency through the micro-batcher.",
+)
+_M_REQUESTS = _REGISTRY.counter(
+    "serve_batch_requests_total", "Requests served through micro-batch windows."
+)
+_M_BATCHES = _REGISTRY.counter(
+    "serve_batch_batches_total", "Batch windows flushed through the batch function."
+)
+_M_ERRORS = _REGISTRY.counter(
+    "serve_batch_errors_total", "Batch windows whose batch function raised."
+)
+_M_REJECTS = _REGISTRY.counter(
+    "serve_batch_rejects_total", "Submissions rejected because the bounded queue was full."
+)
+_M_TIMEOUTS = _REGISTRY.counter(
+    "serve_batch_timeouts_total", "Submissions that gave up waiting for their result."
+)
 
 
 class QueueFullError(RuntimeError):
@@ -178,11 +209,14 @@ class MicroBatcher:
             try:
                 self._queue.put_nowait(pending)
             except queue.Full:
+                _M_REJECTS.inc()
                 raise QueueFullError(
                     f"micro-batcher queue is full ({self.config.max_queue} requests "
                     "queued); retry later or raise BatchingConfig.max_queue"
                 ) from None
+        _M_QUEUE_DEPTH.set(self._queue.qsize())  # repro: ignore[lock-discipline] -- qsize() is Queue's own locked read; the gauge is advisory
         if not pending.done.wait(timeout):
+            _M_TIMEOUTS.inc()
             raise TimeoutError(
                 f"request ({pending.rows} rows) not served within {timeout}s; "
                 "it stays queued and its result will be discarded"
@@ -197,10 +231,11 @@ class MicroBatcher:
 
         ``latency_p50_ms`` / ``latency_p99_ms`` cover the most recent
         :data:`LATENCY_WINDOW` requests, measured submit-to-result on
-        the monotonic clock.  The whole snapshot — counters *and* the
-        latency window copy — is taken under ``_stats_lock``, so the
-        percentiles always describe the same set of requests as the
-        counters next to them.
+        the monotonic clock; they are ``None`` while the window is empty
+        (no traffic is not the same thing as zero latency).  The whole
+        snapshot — counters *and* the latency window copy — is taken
+        under ``_stats_lock``, so the percentiles always describe the
+        same set of requests as the counters next to them.
         """
         with self._stats_lock:
             snapshot = self._stats.as_dict()
@@ -210,9 +245,14 @@ class MicroBatcher:
             snapshot["latency_p50_ms"] = round(float(np.percentile(window, 50)), 4)
             snapshot["latency_p99_ms"] = round(float(np.percentile(window, 99)), 4)
         else:
-            snapshot["latency_p50_ms"] = 0.0
-            snapshot["latency_p99_ms"] = 0.0
+            snapshot["latency_p50_ms"] = None
+            snapshot["latency_p99_ms"] = None
         return snapshot
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued ahead of the scheduler."""
+        return self._queue.qsize()  # repro: ignore[lock-discipline] -- qsize() is Queue's own locked read; the depth is advisory
 
     def close(self, timeout: float = 10.0) -> None:
         """Stop the scheduler thread; queued requests are still served.
@@ -300,5 +340,15 @@ class MicroBatcher:
                 self._stats.errors += 1
             for pending in window:
                 self._latencies_s.append(completed - pending.enqueued)
+        # Registry instruments record outside ``_stats_lock``: each child
+        # carries its own lock, and ``stats()`` readers never touch them.
+        _M_REQUESTS.inc(len(window))
+        _M_BATCHES.inc()
+        _M_OCCUPANCY.observe(rows)
+        _M_QUEUE_DEPTH.set(self._queue.qsize())  # repro: ignore[lock-discipline] -- qsize() is Queue's own locked read; the gauge is advisory
+        if failed:
+            _M_ERRORS.inc()
+        for pending in window:
+            _M_COALESCE.observe(completed - pending.enqueued)
         for pending in window:
             pending.done.set()

@@ -186,6 +186,31 @@ class HTTPClient:
     def models(self) -> dict:
         return self._request("/models")
 
+    def metrics(self) -> dict:
+        """GET ``/metrics``: the ``repro-metrics/v1`` JSON snapshot."""
+        return self._request("/metrics")
+
+    def drain(self) -> dict:
+        """POST ``/drain``: stop admission; in-flight work completes."""
+        return self._request("/drain", {})
+
+    def load(self, model: str) -> dict:
+        """POST ``/models/{model}/load``: warm the engine(s) for ``model``."""
+        return self._request(f"/models/{model}/load", {})
+
+    def evict(self, model: str) -> dict:
+        """POST ``/models/{model}/evict``: drop ``model``'s resident engine(s)."""
+        return self._request(f"/models/{model}/evict", {})
+
+    def set_rate_limit(
+        self, model: str, rate_per_s: Optional[float], burst: Optional[int] = None
+    ) -> dict:
+        """POST ``/models/{model}/ratelimit``; ``rate_per_s=None`` clears it."""
+        payload: dict = {"rate_per_s": rate_per_s}
+        if burst is not None:
+            payload["burst"] = burst
+        return self._request(f"/models/{model}/ratelimit", payload)
+
     def predict(self, inputs, model: Optional[str] = None) -> np.ndarray:
         """POST ``/predict`` and return logits in the server's dtype.
 

@@ -27,13 +27,36 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.obs.registry import default_registry
 from repro.serve.artifact import ModelArtifact, load_artifact
 from repro.serve.batching import BatchingConfig, MicroBatcher
 from repro.tensor.dtypes import default_dtype_scope
-from repro.tensor.sanitize import sanitize_scope
+from repro.tensor.sanitize import SanitizeError, sanitize_scope
 from repro.training.evaluation import predict_logits
 
 __all__ = ["EngineConfig", "ServingEngine"]
+
+_REGISTRY = default_registry()
+_M_REQUESTS = _REGISTRY.counter(
+    "serve_model_requests_total",
+    "Prediction requests accepted per served model.",
+    labels=("model",),
+)
+_M_ROWS = _REGISTRY.counter(
+    "serve_model_rows_total",
+    "Input rows predicted per served model.",
+    labels=("model",),
+)
+_M_FORWARD = _REGISTRY.histogram(
+    "serve_forward_latency_s",
+    "Wall time of one coalesced forward pass through the sealed graph.",
+    labels=("model",),
+)
+_M_SANITIZE_FAULTS = _REGISTRY.counter(
+    "serve_sanitize_faults_total",
+    "Forward passes aborted by the numeric sanitizer (NaN/Inf caught).",
+    labels=("model",),
+)
 
 
 @dataclass(frozen=True)
@@ -74,14 +97,25 @@ class ServingEngine:
         artifact: Union[ModelArtifact, str, os.PathLike],
         config: Optional[EngineConfig] = None,
         seed: int = 0,
+        name: Optional[str] = None,
     ) -> None:
         if not isinstance(artifact, ModelArtifact):
             artifact = load_artifact(os.fspath(artifact))
         self.artifact = artifact
+        #: The serving name this engine's metrics are labelled with —
+        #: the operator-facing registration name when the store/fleet
+        #: supplies one, else the artifact's own model name.
+        self.name = name if name is not None else artifact.model_name
         self.config = config if config is not None else EngineConfig()
         self._dtype = np.dtype(artifact.dtype)
         self.model = artifact.build_model(seed=seed)
         self._closed = False
+        # Children resolve once: recording on the hot path is a direct
+        # method call on the bound instrument, not a registry lookup.
+        self._m_requests = _M_REQUESTS.labelled(model=self.name)
+        self._m_rows = _M_ROWS.labelled(model=self.name)
+        self._m_forward = _M_FORWARD.labelled(model=self.name)
+        self._m_sanitize_faults = _M_SANITIZE_FAULTS.labelled(model=self.name)
         self._batcher = MicroBatcher(self._forward, self.config.batching())
 
     # ------------------------------------------------------------------
@@ -102,7 +136,10 @@ class ServingEngine:
         """
         if self._closed:
             raise RuntimeError("cannot predict with a closed ServingEngine")
-        return self._batcher.submit(self._validate(inputs), timeout=timeout)
+        array = self._validate(inputs)
+        self._m_requests.inc()
+        self._m_rows.inc(array.shape[0])
+        return self._batcher.submit(array, timeout=timeout)
 
     def _validate(self, inputs) -> np.ndarray:
         array = np.asarray(inputs, dtype=self._dtype)
@@ -129,6 +166,11 @@ class ServingEngine:
             "sparsity": round(self.artifact.sparsity(), 6),
             "batching": self._batcher.stats(),
         }
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued ahead of this engine's scheduler right now."""
+        return self._batcher.queue_depth
 
     @property
     def closed(self) -> bool:
@@ -158,15 +200,19 @@ class ServingEngine:
         # scheduler thread: the whole forward stays in the sealed
         # precision without perturbing other threads, so engines sealed
         # under different dtypes serve concurrently.
-        with default_dtype_scope(self._dtype):
-            if self.config.sanitize:
-                # Opt in for this engine's forwards only.  Without the
-                # flag the ambient setting (REPRO_SANITIZE) still
-                # applies — the engine never vetoes a global sanitize.
-                with sanitize_scope():
-                    return predict_logits(
-                        self.model, batch, batch_size=self.config.eval_batch_size, fused=False
-                    )
-            return predict_logits(
-                self.model, batch, batch_size=self.config.eval_batch_size, fused=False
-            )
+        try:
+            with self._m_forward.time(), default_dtype_scope(self._dtype):
+                if self.config.sanitize:
+                    # Opt in for this engine's forwards only.  Without the
+                    # flag the ambient setting (REPRO_SANITIZE) still
+                    # applies — the engine never vetoes a global sanitize.
+                    with sanitize_scope():
+                        return predict_logits(
+                            self.model, batch, batch_size=self.config.eval_batch_size, fused=False
+                        )
+                return predict_logits(
+                    self.model, batch, batch_size=self.config.eval_batch_size, fused=False
+                )
+        except SanitizeError:
+            self._m_sanitize_faults.inc()
+            raise

@@ -41,6 +41,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.registry import MetricsRegistry, default_registry, merge_snapshots
 from repro.serve.artifact import read_artifact_meta
 from repro.serve.engine import EngineConfig
 from repro.serve.fleet.chaos import CHAOS_ENV_VAR, parse_chaos
@@ -62,6 +63,72 @@ __all__ = [
     "FleetUnavailableError",
     "WorkerError",
 ]
+
+
+#: The shard lifecycle states a slot may be in.
+SHARD_STATES = ("starting", "live", "dead", "failed")
+
+
+def _declare_fleet_instruments(registry: MetricsRegistry) -> Dict[str, object]:
+    """Declare every fleet instrument family into ``registry``.
+
+    Called twice with the same declarations: once at import time on the
+    process-default registry (so ``python -m repro.obs doc`` documents
+    the fleet instruments — nothing ever records there) and once per
+    :class:`FleetSupervisor` on its private registry (so two fleets in
+    one process never pollute each other's counters, and ``stats()``
+    stays per-supervisor).
+    """
+    return {
+        "accepted": registry.counter(
+            "fleet_requests_accepted_total", "Requests admitted into the shard pool."
+        ),
+        "completed": registry.counter(
+            "fleet_requests_completed_total", "Requests answered with shard results."
+        ),
+        "errors": registry.counter(
+            "fleet_request_errors_total", "Requests a shard answered with an error."
+        ),
+        "rejected": registry.counter(
+            "fleet_admission_rejects_total",
+            "Requests rejected at admission (pool saturated or restarting).",
+        ),
+        "rerouted": registry.counter(
+            "fleet_reroutes_total", "In-flight requests re-sent after a shard death."
+        ),
+        "reroutes_max": registry.gauge(
+            "fleet_reroute_depth_max", "Most reroutes any single request survived."
+        ),
+        "crashes": registry.counter(
+            "fleet_shard_crashes_total", "Shard incarnations that died (any cause)."
+        ),
+        "restarts": registry.counter(
+            "fleet_shard_restarts_total", "Successful shard respawns after a crash."
+        ),
+        "heartbeat_deaths": registry.counter(
+            "fleet_heartbeat_deaths_total", "Shards declared dead for missing pong deadlines."
+        ),
+        "corrupt_replies": registry.counter(
+            "fleet_corrupt_replies_total", "Shard replies that failed their CRC integrity check."
+        ),
+        "heartbeat_rtt": registry.histogram(
+            "fleet_heartbeat_rtt_s", "Ping-to-pong round-trip time per live shard."
+        ),
+        "parked": registry.gauge(
+            "fleet_parked_requests", "Accepted requests parked while no shard is live.", unit="requests"
+        ),
+        "shard_state": registry.gauge(
+            "fleet_shards", "Shards currently in each lifecycle state.", labels=("state",), unit="shards"
+        ),
+        "pending": registry.gauge(
+            "fleet_pending_requests", "In-flight requests across all live shards.", unit="requests"
+        ),
+    }
+
+
+# Declaration-only: makes the fleet instruments visible to the generated
+# metrics reference; supervisors record into their own registries.
+_declare_fleet_instruments(default_registry())
 
 
 class FleetError(RuntimeError):
@@ -238,6 +305,16 @@ class _SpawnWaiter:
         self.conn: Optional[socket.socket] = None
 
 
+class _ControlWaiter:
+    """One in-flight control round-trip (``metrics``/``load``/``evict``)."""
+
+    __slots__ = ("event", "reply")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.reply: Optional[dict] = None
+
+
 def _hash(value: str) -> int:
     return int.from_bytes(hashlib.sha1(value.encode("utf-8")).digest()[:8], "big")
 
@@ -284,18 +361,12 @@ class FleetSupervisor:
         self._generations = itertools.count(1)
         self._parked: List[_Pending] = []
         self._waiters: Dict[str, _SpawnWaiter] = {}
-        self._stats: Dict[str, int] = {
-            "accepted": 0,
-            "completed": 0,
-            "errors": 0,
-            "rejected": 0,
-            "rerouted": 0,
-            "reroutes_max": 0,
-            "crashes": 0,
-            "restarts": 0,
-            "heartbeat_deaths": 0,
-            "corrupt_replies": 0,
-        }
+        self._control: Dict[int, _ControlWaiter] = {}
+        # Per-supervisor registry: counters are this fleet's alone (two
+        # fleets in one test process must not share restart counts), and
+        # ``metrics_snapshot`` merges shard snapshots on top of it.
+        self._registry = MetricsRegistry()
+        self._metrics = _declare_fleet_instruments(self._registry)
         self._slots = [_Slot(index) for index in range(self.config.shards)]
 
         self._listener, self._address, self._family = self._bind_listener()
@@ -415,7 +486,7 @@ class FleetSupervisor:
             with self._lock:
                 closed = self._closed
                 if not closed:
-                    self._stats["crashes"] += 1
+                    self._metrics["crashes"].inc()
                     self._record_crash(slot)
             return
         link.conn = waiter.conn
@@ -431,7 +502,7 @@ class FleetSupervisor:
                 slot.generation = generation
                 slot.state = "live"
                 if was_restart:
-                    self._stats["restarts"] += 1
+                    self._metrics["restarts"].inc()
                 parked = self._parked
                 self._parked = []
         if stillborn:
@@ -444,9 +515,8 @@ class FleetSupervisor:
             self._reroute(pending)
 
     def _record_crash(self, slot: _Slot) -> None:
-        """Backoff/breaker bookkeeping for one crash (lock held by caller;
-        the caller also counts it in ``_stats`` so every touch of that
-        dict stays lexically under the lock for the lint's benefit)."""
+        """Backoff/breaker bookkeeping for one crash (lock held by caller,
+        who also counts it on the ``crashes`` instrument)."""
         now = time.monotonic()
         window = self.config.restart_window_s
         slot.crash_times = [t for t in slot.crash_times if now - t <= window] + [now]
@@ -467,14 +537,14 @@ class FleetSupervisor:
             orphans = list(link.pending.values())
             link.pending.clear()
             if reason == "heartbeat timeout":
-                self._stats["heartbeat_deaths"] += 1
+                self._metrics["heartbeat_deaths"].inc()
             if self._closed:
                 slot.state = "dead"
             else:
-                self._stats["crashes"] += 1
+                self._metrics["crashes"].inc()
                 self._record_crash(slot)
             if orphans:
-                self._stats["rerouted"] += len(orphans)
+                self._metrics["rerouted"].inc(len(orphans))
             closed = self._closed
             stranded: List[_Pending] = []
             if not closed and all(s.state == "failed" for s in self._slots):
@@ -495,8 +565,7 @@ class FleetSupervisor:
     def _reroute(self, pending: _Pending) -> None:
         """Re-dispatch an already-accepted request (never re-admitted)."""
         pending.reroutes += 1
-        with self._lock:
-            self._stats["reroutes_max"] = max(self._stats["reroutes_max"], pending.reroutes)
+        self._metrics["reroutes_max"].set_max(pending.reroutes)
         try:
             self._dispatch(pending, admission=False)
         except FleetError as error:
@@ -558,8 +627,8 @@ class FleetSupervisor:
                     # Corrupt reply: never surface garbage logits.  Put
                     # the request back (it re-routes with the rest of the
                     # queue) and fail the shard over.
+                    self._metrics["corrupt_replies"].inc()
                     with self._lock:
-                        self._stats["corrupt_replies"] += 1
                         requeued = self._slots[link.index].link is link
                         if requeued:
                             link.pending[header.get("id")] = pending
@@ -567,15 +636,13 @@ class FleetSupervisor:
                         self._reroute(pending)
                     reason = "corrupt reply"
                     break
-                with self._lock:
-                    self._stats["completed"] += 1
+                self._metrics["completed"].inc()
                 pending.complete(result)
             elif kind == "error":
                 with self._lock:
                     pending = link.pending.pop(header.get("id"), None)
-                    if pending is not None:
-                        self._stats["errors"] += 1
                 if pending is not None:
+                    self._metrics["errors"].inc()
                     pending.fail(
                         WorkerError(
                             str(header.get("message", "shard error")),
@@ -584,11 +651,120 @@ class FleetSupervisor:
                         )
                     )
             elif kind == "pong":
-                link.last_pong = time.monotonic()
+                now = time.monotonic()
+                # Approximate RTT: ``last_ping`` is stamped by the
+                # monitor just before the ping goes out.
+                self._metrics["heartbeat_rtt"].observe(max(0.0, now - link.last_ping))
+                link.last_pong = now
+            elif kind in ("metrics", "admin-ack"):
+                with self._lock:
+                    waiter = self._control.get(header.get("id"))
+                if waiter is not None:
+                    waiter.reply = header
+                    waiter.event.set()
             elif kind == "goodbye":
                 reason = "drained"
                 break
         self._shard_down(link, reason)
+
+    # ------------------------------------------------------------------
+    # Control plane (metrics scrapes, admin load/evict)
+    # ------------------------------------------------------------------
+    def _broadcast(self, header: dict, timeout: float) -> Dict[int, Optional[dict]]:
+        """One control round-trip to every live shard.
+
+        Returns ``{shard_index: reply_header_or_None}`` — ``None`` marks
+        a shard that died mid-round-trip or missed the deadline.  Control
+        frames ride the same ordered stream as predicts, so a reply
+        describes the shard *after* everything sent before it.
+        """
+        with self._lock:
+            if self._closed:
+                raise FleetUnavailableError("fleet is closed")
+            links = [slot.link for slot in self._slots if slot.state == "live"]
+        waiting: Dict[int, Tuple[int, _ControlWaiter]] = {}
+        for link in links:
+            request_id = next(self._ids)
+            waiter = _ControlWaiter()
+            with self._lock:
+                self._control[request_id] = waiter
+            try:
+                link.send({**header, "id": request_id})
+            except OSError:
+                with self._lock:
+                    self._control.pop(request_id, None)
+                self._shard_down(link, "send failed")
+                waiting[link.index] = (request_id, None)
+                continue
+            waiting[link.index] = (request_id, waiter)
+        deadline = time.monotonic() + timeout
+        replies: Dict[int, Optional[dict]] = {}
+        for index, (request_id, waiter) in waiting.items():
+            if waiter is not None and waiter.event.wait(max(0.0, deadline - time.monotonic())):
+                replies[index] = waiter.reply
+            else:
+                replies[index] = None
+            with self._lock:
+                self._control.pop(request_id, None)
+        return replies
+
+    def metrics_snapshot(self, timeout: float = 5.0) -> Dict[str, object]:
+        """One merged ``repro-metrics/v1`` snapshot for the whole fleet.
+
+        Every live shard is asked for its process-local snapshot (batch
+        scheduler, engines, model store instruments) and the results are
+        merged on top of the supervisor's own registry — counters and
+        histogram buckets sum, so the fleet's p99 reflects every shard's
+        samples.  Schema-identical to a single-process snapshot: the
+        ``/metrics`` contract does not change shape behind a fleet.
+        """
+        with self._lock:
+            states = [slot.state for slot in self._slots]
+            parked = len(self._parked)
+            in_flight = sum(
+                len(slot.link.pending) for slot in self._slots if slot.link is not None
+            )
+        gauge = self._metrics["shard_state"]
+        for state in SHARD_STATES:
+            gauge.labelled(state=state).set(states.count(state))
+        self._metrics["parked"].set(parked)
+        self._metrics["pending"].set(in_flight)
+        replies = self._broadcast({"kind": "metrics"}, timeout)
+        shard_snapshots = [
+            reply["snapshot"]
+            for reply in replies.values()
+            if reply is not None and isinstance(reply.get("snapshot"), dict)
+        ]
+        return merge_snapshots(self._registry.snapshot(), *shard_snapshots)
+
+    def _admin_broadcast(self, kind: str, name: str, timeout: float) -> Dict[str, object]:
+        if name not in self._artifacts:
+            raise KeyError(
+                f"no model named {name!r} is registered; available: {list(self._artifacts)}"
+            )
+        replies = self._broadcast(
+            {"kind": kind, "model": name, "path": self._artifacts[name]}, timeout
+        )
+        shards = {
+            str(index): (reply is not None and bool(reply.get("ok", False)))
+            for index, reply in replies.items()
+        }
+        return {"model": name, "shards": shards, "ok": all(shards.values()) and bool(shards)}
+
+    def admin_load(self, name: str, timeout: float = 30.0) -> Dict[str, object]:
+        """Ensure every live shard holds a warm engine for ``name``."""
+        return self._admin_broadcast("load", name, timeout)
+
+    def admin_evict(self, name: str, timeout: float = 30.0) -> Dict[str, object]:
+        """Drop ``name``'s engine on every live shard (reload via load)."""
+        return self._admin_broadcast("evict", name, timeout)
+
+    def queue_depth(self) -> int:
+        """In-flight requests across all shards plus parked ones."""
+        with self._lock:
+            return len(self._parked) + sum(
+                len(slot.link.pending) for slot in self._slots if slot.link is not None
+            )
 
     # ------------------------------------------------------------------
     # Routing and dispatch
@@ -638,7 +814,7 @@ class FleetSupervisor:
                         "every shard's crash-loop breaker is open; the fleet needs operator attention"
                     )
                 if admission:
-                    self._stats["rejected"] += 1
+                    self._metrics["rejected"].inc()
                     raise FleetSaturatedError(
                         "no live shard can take new work right now (restarting)",
                         retry_after=retry_after,
@@ -652,7 +828,7 @@ class FleetSupervisor:
                     if len(slot.link.pending) < self.config.max_pending_per_shard
                 ]
                 if not open_slots:
-                    self._stats["rejected"] += 1
+                    self._metrics["rejected"].inc()
                     raise FleetSaturatedError(
                         f"all {len(live)} live shard(s) are at their pending bound "
                         f"({self.config.max_pending_per_shard}); retry later",
@@ -665,7 +841,7 @@ class FleetSupervisor:
             link.pending[request_id] = pending
             link.requests += 1
             if admission:
-                self._stats["accepted"] += 1
+                self._metrics["accepted"].inc()
         try:
             link.send({"kind": "predict", "id": request_id, "model": pending.name, **meta}, payload)
         except OSError:
@@ -728,11 +904,29 @@ class FleetSupervisor:
             ]
 
     def stats(self) -> Dict[str, object]:
-        """Supervisor counters plus the shard snapshot."""
+        """Supervisor counters plus the shard snapshot.
+
+        The counters read from this fleet's private metrics registry —
+        the same instruments ``/metrics`` serves — so an operator's
+        dashboard and a test's ``stats()`` assertion can never disagree.
+        """
+        snapshot: Dict[str, object] = {
+            key: int(self._metrics[key].value)
+            for key in (
+                "accepted",
+                "completed",
+                "errors",
+                "rejected",
+                "rerouted",
+                "reroutes_max",
+                "crashes",
+                "restarts",
+                "heartbeat_deaths",
+                "corrupt_replies",
+            )
+        }
         with self._lock:
-            counters = dict(self._stats)
             parked = len(self._parked)
-        snapshot: Dict[str, object] = dict(counters)
         snapshot["parked"] = parked
         snapshot["shards"] = self.shard_states()
         return snapshot

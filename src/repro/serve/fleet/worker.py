@@ -33,6 +33,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.registry import default_registry
 from repro.serve.batching import QueueFullError
 from repro.serve.engine import EngineConfig, ServingEngine
 from repro.serve.fleet.chaos import parse_chaos
@@ -73,10 +74,14 @@ class _Worker:
         engines: Dict[str, ServingEngine],
         chaos_spec: Optional[str],
         handler_threads: int,
+        engine_config: Optional[EngineConfig] = None,
     ) -> None:
         self.sock = sock
         self.shard_index = shard_index
         self.engines = engines
+        self.engine_config = engine_config
+        # Guards ``engines`` against admin load/evict racing predicts.
+        self._engines_lock = threading.Lock()
         self.chaos = parse_chaos(chaos_spec).for_shard(shard_index)
         self.draining = threading.Event()
         self.exit_code = EXIT_OK
@@ -134,6 +139,22 @@ class _Worker:
                         else 0.0
                     )
                     self._pool.submit(self._handle_predict, header, payload, corrupt_this, delay_ms)
+                elif kind == "metrics":
+                    # The shard's process-local snapshot (batcher, engine,
+                    # and store instruments) rides back in the header; the
+                    # supervisor merges it across shards.
+                    self._send(
+                        {
+                            "kind": "metrics",
+                            "id": header.get("id"),
+                            "shard": self.shard_index,
+                            "snapshot": default_registry().snapshot(),
+                        }
+                    )
+                elif kind in ("load", "evict"):
+                    # Admin plane: a load warm-builds the engine before the
+                    # ack, so it runs on the handler pool like a predict.
+                    self._pool.submit(self._handle_admin, header, kind == "load")
                 elif kind == "shutdown":
                     break
                 # Unknown kinds are ignored: a newer supervisor may speak
@@ -146,7 +167,9 @@ class _Worker:
                 self._send({"kind": "goodbye", "shard": self.shard_index})
             except OSError:
                 pass
-            for engine in self.engines.values():
+            with self._engines_lock:
+                engines = list(self.engines.values())
+            for engine in engines:
                 engine.close()
             try:
                 self.sock.shutdown(socket.SHUT_RDWR)
@@ -164,7 +187,8 @@ class _Worker:
         request_id = header.get("id")
         try:
             inputs = decode_array(header, payload)
-            engine = self.engines[header.get("model")]
+            with self._engines_lock:
+                engine = self.engines[header.get("model")]
             logits = engine.predict(inputs)
         except KeyError:
             self._reply_error(request_id, "unknown-model", f"shard has no model {header.get('model')!r}", False)
@@ -191,6 +215,45 @@ class _Worker:
             self._send({"kind": "result", "id": request_id, **meta}, body)
         except OSError:
             pass  # supervisor gone; it will have re-routed already
+
+    def _handle_admin(self, header: dict, load: bool) -> None:
+        request_id = header.get("id")
+        name = header.get("model")
+        try:
+            if load:
+                with self._engines_lock:
+                    missing = name not in self.engines
+                if missing:
+                    # Build outside the lock (a warm load reads megabytes
+                    # of weights); last writer wins on the rare race.
+                    engine = ServingEngine(
+                        header.get("path"), config=self.engine_config, name=name
+                    )
+                    with self._engines_lock:
+                        stale = self.engines.get(name)
+                        self.engines[name] = engine
+                    if stale is not None:
+                        stale.close()
+                evicted = None
+            else:
+                with self._engines_lock:
+                    evicted = self.engines.pop(name, None)
+            if evicted is not None:
+                evicted.close()
+            self._send({"kind": "admin-ack", "id": request_id, "model": name, "ok": True})
+        except BaseException as error:  # noqa: BLE001 - reported, never dropped
+            try:
+                self._send(
+                    {
+                        "kind": "admin-ack",
+                        "id": request_id,
+                        "model": name,
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+            except OSError:
+                pass
 
     def _reply_error(self, request_id, code: str, message: str, retryable: bool) -> None:
         try:
@@ -224,7 +287,7 @@ def worker_main(
     engines: Dict[str, ServingEngine] = {}
     try:
         for name, path in artifacts:
-            engines[name] = ServingEngine(path, config=config)
+            engines[name] = ServingEngine(path, config=config, name=name)
     except BaseException:
         for engine in engines.values():
             engine.close()
@@ -238,7 +301,9 @@ def worker_main(
         for engine in engines.values():
             engine.close()
         return EXIT_OK
-    worker = _Worker(sock, shard_index, engines, chaos_spec, handler_threads)
+    worker = _Worker(
+        sock, shard_index, engines, chaos_spec, handler_threads, engine_config=config
+    )
 
     def _drain_signal(signum, frame):  # noqa: ARG001 - stdlib signature
         worker.draining.set()

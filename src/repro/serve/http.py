@@ -5,11 +5,24 @@ server over a :class:`~repro.serve.store.ModelStore`; with
 ``--shards N`` (N >= 2) the same routes are served by a supervised
 :class:`~repro.serve.fleet.FleetSupervisor` shard pool instead:
 
-* ``GET /healthz`` — liveness plus which models are registered/loaded
-  (and, under a fleet, the per-shard supervision snapshot);
+* ``GET /healthz`` — liveness, draining state, aggregate queue depth,
+  and which models are registered/loaded (and, under a fleet, the
+  per-shard supervision snapshot);
 * ``GET /models`` — full artifact metadata per registered model;
+* ``GET /metrics`` — the live ``repro-metrics/v1`` snapshot (JSON by
+  default; Prometheus text with ``?format=prom`` or ``Accept:
+  text/plain``); under a fleet the supervisor merges every shard's
+  snapshot, so the schema is identical to in-process serving;
 * ``POST /predict`` — JSON ``{"inputs": [[...]], "model": "name"?}`` ->
-  ``{"logits": [[...]], "dtype": ..., "shape": [...]}``.
+  ``{"logits": [[...]], "dtype": ..., "shape": [...]}``;
+* ``POST /models/{name}/load`` / ``POST /models/{name}/evict`` — warm
+  or drop ``name``'s engine (every shard, under a fleet) without a
+  restart;
+* ``POST /models/{name}/ratelimit`` — install/clear a per-model
+  admission rate limit (``{"rate_per_s": 50, "burst": 10}``; ``null``
+  clears); a depleted bucket answers ``429`` + ``Retry-After``;
+* ``POST /drain`` — begin the graceful drain an operator otherwise
+  triggers with SIGTERM.
 
 Handler threads only parse/serialise JSON and block on the engine's
 micro-batcher (or the fleet's routing table), so concurrent requests
@@ -32,13 +45,18 @@ import argparse
 import json
 import math
 import os
+import re
 import signal
 import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Sequence, Tuple
+from urllib.parse import unquote, urlsplit
 
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.registry import default_registry, merge_snapshots
+from repro.serve.admin import RateLimit, RateLimiter
 from repro.serve.batching import QueueFullError
 from repro.serve.engine import EngineConfig
 from repro.serve.fleet.supervisor import (
@@ -59,6 +77,21 @@ DRAIN_TIMEOUT_S = 30.0
 #: ``Retry-After`` hint attached to single-process saturation (the
 #: fleet carries its own per-config hint).
 RETRY_AFTER_S = 1.0
+
+_REGISTRY = default_registry()
+_M_HTTP_REQUESTS = _REGISTRY.counter(
+    "serve_http_requests_total",
+    "HTTP responses sent by the frontend, by route and status.",
+    labels=("route", "status"),
+)
+_M_RATE_LIMITED = _REGISTRY.counter(
+    "serve_http_rate_limited_total",
+    "Requests rejected at admission by a per-model rate limit.",
+    labels=("model",),
+)
+
+#: Admin routes: ``POST /models/{name}/load|evict|ratelimit``.
+_ADMIN_ROUTE = re.compile(r"^/models/([^/]+)/(load|evict|ratelimit)$")
 
 
 def _retry_after_header(seconds: float) -> str:
@@ -85,6 +118,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
         store: Optional[ModelStore],
         default_model: str,
         fleet: Optional[FleetSupervisor] = None,
+        rate_limiter: Optional[RateLimiter] = None,
     ) -> None:
         if store is None and fleet is None:
             raise ValueError("a serving server needs a store or a fleet backend")
@@ -92,6 +126,11 @@ class ServingHTTPServer(ThreadingHTTPServer):
         self.store = store
         self.fleet = fleet
         self.default_model = default_model
+        self.rate_limiter = rate_limiter if rate_limiter is not None else RateLimiter()
+        #: Called once when an admin ``POST /drain`` lands; ``main``
+        #: points it at its stop event so the full drain flow runs.
+        self.on_drain: Optional[callable] = None
+        self._drain_requested = threading.Event()
         self._inflight = 0
         self._inflight_cv = threading.Condition()
         self._draining = threading.Event()
@@ -134,6 +173,49 @@ class ServingHTTPServer(ThreadingHTTPServer):
                 self._inflight_cv.wait(remaining)
         return True
 
+    def request_drain(self) -> None:
+        """Begin a graceful drain from an admin request (asynchronous).
+
+        Marks the server draining immediately — ``/healthz`` reports it
+        and every response starts closing its connection — then hands
+        off to ``on_drain`` (the CLI's stop event) when registered, or
+        runs :meth:`drain` on a background thread otherwise.  The
+        handler thread that received ``POST /drain`` must not run the
+        drain itself: the drain waits for in-flight requests, which
+        would include that very handler.
+        """
+        if self._drain_requested.is_set():
+            return
+        self._drain_requested.set()
+        self._draining.set()
+        if self.on_drain is not None:
+            self.on_drain()
+        else:
+            threading.Thread(target=self.drain, name="repro-serve-drain", daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The live ``repro-metrics/v1`` snapshot for ``GET /metrics``.
+
+        In-process serving reads the process-default registry (batcher,
+        engines, store, HTTP counters); a fleet merges the supervisor's
+        registry and every shard's snapshot on top of the frontend's
+        own HTTP counters.  Both shapes are identical — one schema, no
+        matter the backend.
+        """
+        local = default_registry().snapshot()
+        if self.fleet is not None:
+            return merge_snapshots(local, self.fleet.metrics_snapshot())
+        return local
+
+    def queue_depth(self) -> int:
+        """Requests queued/in-flight across the active backend."""
+        if self.fleet is not None:
+            return self.fleet.queue_depth()
+        return self.store.queue_depth()
+
 
 class _Handler(BaseHTTPRequestHandler):
     server: ServingHTTPServer
@@ -141,6 +223,10 @@ class _Handler(BaseHTTPRequestHandler):
     # Keep-alive responses require accurate Content-Length, which
     # ``_send_json`` always sets.
     protocol_version = "HTTP/1.1"
+
+    #: Normalised route label for the HTTP request counter (set by the
+    #: route dispatchers; admin routes collapse the model name).
+    _route = "other"
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
         if os.environ.get("REPRO_SERVE_LOG"):
@@ -150,7 +236,11 @@ class _Handler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path == "/healthz":
+        path = urlsplit(self.path).path
+        self._route = path if path in ("/healthz", "/models", "/metrics") else "other"
+        if path == "/healthz":
+            draining = self.server.draining
+            status = "draining" if draining else "ok"
             if self.server.fleet is not None:
                 fleet = self.server.fleet
                 shards = fleet.shard_states()
@@ -158,7 +248,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     200,
                     {
-                        "status": "ok" if live else "degraded",
+                        "status": status if live else "degraded",
+                        "draining": draining,
+                        "queue_depth": self.server.queue_depth(),
                         "default_model": fleet.default_model,
                         "models": fleet.names(),
                         # Every shard warm-loads every artifact before
@@ -171,17 +263,21 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     200,
                     {
-                        "status": "ok",
+                        "status": status,
+                        "draining": draining,
+                        "queue_depth": self.server.queue_depth(),
                         "default_model": self.server.default_model,
                         "models": self.server.store.names(),
                         "loaded": self.server.store.loaded(),
                     },
                 )
-        elif self.path == "/models":
+        elif path == "/models":
             backend = self.server.fleet if self.server.fleet is not None else self.server.store
             self._send_json(200, {"models": backend.describe()})
+        elif path == "/metrics":
+            self._send_metrics()
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_json(404, {"error": f"unknown path {path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         # Drain the body before routing: leaving unread bytes on a
@@ -190,10 +286,36 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length", 0))
             body = self.rfile.read(length)
         except (ValueError, OSError):
+            self._route = "other"
             self._send_json(400, {"error": "unreadable request body"})
             return
-        if self.path != "/predict":
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        path = urlsplit(self.path).path
+        admin = _ADMIN_ROUTE.match(path)
+        if admin is not None:
+            name, action = unquote(admin.group(1)), admin.group(2)
+            self._route = f"/models/{{name}}/{action}"
+            self._handle_admin(name, action, body)
+            return
+        if path == "/drain":
+            self._route = "/drain"
+            # Respond before the drain starts waiting on in-flight
+            # requests (this handler is one of them).
+            self._send_json(202, {"status": "draining"})
+            self.server.request_drain()
+            return
+        if path != "/predict":
+            self._route = "other"
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
+        self._route = "/predict"
+        if self.server.draining:
+            # Drain semantics: finish what was admitted, admit nothing
+            # new.  Retryable so a balancer/client fails over cleanly.
+            self._send_json(
+                503,
+                {"error": "server is draining", "retryable": True},
+                headers={"Retry-After": "1"},
+            )
             return
         try:
             payload = json.loads(body.decode("utf-8"))
@@ -204,10 +326,87 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": 'request must carry an "inputs" field'})
             return
         name = payload.get("model") or self.server.default_model
+        admitted, retry_after = self.server.rate_limiter.admit(name)
+        if not admitted:
+            _M_RATE_LIMITED.labelled(model=name).inc()
+            self._send_json(
+                429,
+                {"error": f"rate limit exceeded for model {name!r}", "retryable": True},
+                headers={"Retry-After": _retry_after_header(retry_after)},
+            )
+            return
         if self.server.fleet is not None:
             self._predict_fleet(name, payload["inputs"])
         else:
             self._predict_store(name, payload["inputs"])
+
+    # ------------------------------------------------------------------
+    # Admin surface
+    # ------------------------------------------------------------------
+    def _handle_admin(self, name: str, action: str, body: bytes) -> None:
+        """``POST /models/{name}/load|evict|ratelimit``.
+
+        Load and evict work identically against both backends: the
+        store warms/drops its engine, the fleet broadcasts to every
+        live shard and reports per-shard acknowledgements.
+        """
+        if action == "ratelimit":
+            self._handle_ratelimit(name, body)
+            return
+        fleet, store = self.server.fleet, self.server.store
+        try:
+            if fleet is not None:
+                if action == "load":
+                    result = fleet.admin_load(name)
+                else:
+                    result = fleet.admin_evict(name)
+                status = 200 if result.get("ok") else 503
+                self._send_json(status, {"action": action, **result})
+            else:
+                if action == "load":
+                    store.get(name)
+                    self._send_json(200, {"action": action, "model": name, "ok": True})
+                else:
+                    evicted = store.evict(name)
+                    self._send_json(
+                        200, {"action": action, "model": name, "ok": True, "was_loaded": evicted}
+                    )
+        except KeyError as error:
+            self._send_json(404, {"error": str(error.args[0]) if error.args else str(error)})
+        except FleetError as error:
+            self._send_json(503, {"error": str(error)})
+        except (OSError, ValueError, RuntimeError) as error:
+            self._send_json(503, {"error": f"model {name!r} failed to load: {error}"})
+
+    def _handle_ratelimit(self, name: str, body: bytes) -> None:
+        known = (
+            self.server.fleet.names() if self.server.fleet is not None
+            else self.server.store.names()
+        )
+        if name not in known:
+            self._send_json(404, {"error": f"no model named {name!r} is registered"})
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body.strip() else None
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "request body must be a JSON object or null"})
+            return
+        try:
+            if payload is None:
+                applied = self.server.rate_limiter.set_limit(name, None)
+            elif isinstance(payload, dict) and "rate_per_s" in payload:
+                applied = self.server.rate_limiter.set_limit(
+                    name, payload["rate_per_s"], payload.get("burst")
+                )
+            else:
+                self._send_json(
+                    400, {"error": 'body must be null or carry "rate_per_s" (null clears)'}
+                )
+                return
+        except (TypeError, ValueError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        self._send_json(200, {"model": name, "limit": applied})
 
     # ------------------------------------------------------------------
     # Backends
@@ -316,12 +515,40 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _send_metrics(self) -> None:
+        """``GET /metrics``: JSON by default, Prometheus text on request."""
+        try:
+            snapshot = self.server.metrics_snapshot()
+        except FleetError as error:
+            self._send_json(503, {"error": str(error)})
+            return
+        query = urlsplit(self.path).query
+        accept = self.headers.get("Accept", "")
+        as_prometheus = "format=prom" in query or (
+            "text/plain" in accept and "application/json" not in accept
+        )
+        if as_prometheus:
+            self._send_body(200, render_prometheus(snapshot).encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+        else:
+            self._send_json(200, snapshot)
+
     def _send_json(
         self, status: int, payload: dict, headers: Optional[Dict[str, str]] = None
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json", headers=headers
+        )
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        _M_HTTP_REQUESTS.labelled(route=self._route, status=str(status)).inc()
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for key, value in (headers or {}).items():
             self.send_header(key, value)
@@ -340,9 +567,12 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     fleet: Optional[FleetSupervisor] = None,
+    rate_limiter: Optional[RateLimiter] = None,
 ) -> ServingHTTPServer:
     """Bind (but do not start) a serving server; ``port=0`` picks a free one."""
-    return ServingHTTPServer((host, port), store, default_model, fleet=fleet)
+    return ServingHTTPServer(
+        (host, port), store, default_model, fleet=fleet, rate_limiter=rate_limiter
+    )
 
 
 def _artifact_name(spec: str) -> Tuple[str, str]:
@@ -356,6 +586,30 @@ def _artifact_name(spec: str) -> Tuple[str, str]:
         if stem.endswith(suffix):
             stem = stem[: -len(suffix)]
     return stem, spec
+
+
+def _parse_rate_limits(specs, parser: argparse.ArgumentParser) -> RateLimiter:
+    """Build the admission limiter from ``--rate-limit`` values."""
+    default: Optional[RateLimit] = None
+    limiter = RateLimiter()
+    named = {}
+    for spec in specs:
+        name, sep, rest = spec.rpartition("=")
+        rate_part, _, burst_part = rest.partition(":")
+        try:
+            rate = float(rate_part)
+            burst = int(burst_part) if burst_part else None
+            limit = RateLimit(rate, burst)
+        except ValueError as error:
+            parser.error(f"bad --rate-limit {spec!r}: {error}")
+        if sep:
+            named[name] = limit
+        else:
+            default = limit
+    limiter = RateLimiter(default=default)
+    for name, limit in named.items():
+        limiter.set_limit(name, limit.rate_per_s, limit.burst)
+    return limiter
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -413,6 +667,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="forward-pass chunk size, mirroring predict_logits (default: 64)",
+    )
+    parser.add_argument(
+        "--rate-limit",
+        action="append",
+        default=[],
+        metavar="[NAME=]RPS[:BURST]",
+        help=(
+            "per-model admission rate limit in requests/second (repeatable); "
+            "a bare RPS applies to every model without its own limit; "
+            "an optional :BURST caps the bucket (default: ceil(RPS)). "
+            "Mutable at runtime via POST /models/{name}/ratelimit"
+        ),
     )
     parser.add_argument(
         "--max-queue",
@@ -480,7 +746,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             store.close()
 
     try:
-        server = create_server(store, default_model, host=args.host, port=args.port, fleet=fleet)
+        server = create_server(
+            store,
+            default_model,
+            host=args.host,
+            port=args.port,
+            fleet=fleet,
+            rate_limiter=_parse_rate_limits(args.rate_limit, parser),
+        )
     except OSError as error:
         close_backend()
         parser.error(str(error))
@@ -488,7 +761,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     backend = f"{args.shards} shard processes" if fleet is not None else "in-process engine"
     print(
         f"serving {list(artifacts)} on http://{host}:{port} via {backend} "
-        "(POST /predict, GET /healthz, GET /models)",
+        "(POST /predict, GET /healthz, GET /models, GET /metrics, "
+        "POST /models/{name}/load|evict|ratelimit, POST /drain)",
         flush=True,
     )
 
@@ -504,6 +778,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         signal.signal(signal.SIGINT, _request_stop)
     except ValueError:
         pass  # embedded in a non-main thread: the caller owns signals
+    # An admin ``POST /drain`` runs the same flow as SIGTERM.
+    server.on_drain = stop.set
 
     serve_thread = threading.Thread(
         target=server.serve_forever, name="repro-serve-http", daemon=True

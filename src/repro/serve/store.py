@@ -19,10 +19,25 @@ from collections import OrderedDict
 from threading import Event, Lock
 from typing import Dict, List, Optional
 
+from repro.obs.registry import default_registry
 from repro.serve.artifact import read_artifact_meta
 from repro.serve.engine import EngineConfig, ServingEngine
 
 __all__ = ["ModelStore"]
+
+_REGISTRY = default_registry()
+_M_LOADS = _REGISTRY.counter(
+    "serve_store_loads_total", "Cold engine loads performed by the model store."
+)
+_M_EVICTIONS = _REGISTRY.counter(
+    "serve_store_evictions_total", "Engines evicted by LRU pressure at capacity."
+)
+_M_ADMIN_EVICTIONS = _REGISTRY.counter(
+    "serve_store_admin_evictions_total", "Engines evicted explicitly via the admin surface."
+)
+_M_RESIDENT = _REGISTRY.gauge(
+    "serve_store_resident_engines", "Engines currently resident in the store.", unit="engines"
+)
 
 
 class ModelStore:
@@ -101,7 +116,7 @@ class ModelStore:
             in_flight.wait()
 
         try:
-            engine = ServingEngine(path, config=self.config)
+            engine = ServingEngine(path, config=self.config, name=name)
         except BaseException:
             with self._lock:
                 self._loading.pop(name).set()
@@ -116,6 +131,10 @@ class ModelStore:
                     _, stale = self._engines.popitem(last=False)
                     evicted.append(stale)
             self._loading.pop(name).set()
+            _M_RESIDENT.set(len(self._engines))
+        if not replaced:
+            _M_LOADS.inc()
+        _M_EVICTIONS.inc(len(evicted))
         for stale in evicted:
             stale.close()
         if replaced:
@@ -124,6 +143,32 @@ class ModelStore:
             engine.close()
             return self.get(name)
         return engine
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name``'s resident engine (admin surface; path stays registered).
+
+        Returns whether an engine was actually resident.  Raises
+        ``KeyError`` for a name that was never registered, so the HTTP
+        layer can distinguish 404 from an eviction of a cold model.
+        """
+        with self._lock:
+            if name not in self._paths:
+                raise KeyError(
+                    f"no model named {name!r} is registered; available: {list(self._paths)}"
+                )
+            engine = self._engines.pop(name, None)
+            _M_RESIDENT.set(len(self._engines))
+        if engine is None:
+            return False
+        _M_ADMIN_EVICTIONS.inc()
+        engine.close()
+        return True
+
+    def queue_depth(self) -> int:
+        """Requests queued across every resident engine (for ``/healthz``)."""
+        with self._lock:
+            engines = list(self._engines.values())
+        return sum(engine.queue_depth for engine in engines)
 
     def describe(self) -> List[Dict[str, object]]:
         """Metadata for every registered model (what ``/models`` serves).

@@ -282,6 +282,42 @@ class TestDenseMaskMultiplyRule:
         assert rules_hit(source, "repro/pruning/other.py") == {"dense-mask-multiply"}
 
 
+class TestAdhocMetricsRule:
+    def test_hand_rolled_counter_in_instrumented_module_flagged(self):
+        source = """
+            class Supervisor:
+                def crash(self):
+                    self._stats["crashes"] += 1
+        """
+        findings = lint(source, "repro/serve/fleet/supervisor.py")
+        assert [f.rule for f in findings] == ["adhoc-metrics"]
+        assert "registry counter" in findings[0].message
+
+    def test_time_time_in_instrumented_core_module_flagged(self):
+        source = "import time\nbegin = time.time()\n"
+        assert rules_hit(source, "repro/core/parallel.py") == {"adhoc-metrics"}
+
+    def test_registry_route_and_perf_counter_are_clean(self):
+        clean = """
+            import time
+            from repro.obs.registry import default_registry
+
+            _M_CRASHES = default_registry().counter("fleet_shard_crashes_total")
+
+            class Supervisor:
+                def crash(self):
+                    _M_CRASHES.inc()
+                    self.last_crash = time.perf_counter()
+        """
+        assert rules_hit(clean, "repro/serve/fleet/supervisor.py") == set()
+
+    def test_uninstrumented_modules_are_exempt(self):
+        source = 'class T:\n    def f(self):\n        self._stats["n"] += 1\n'
+        assert lint(source, "repro/experiments/grid.py") == []
+        # time.time() outside serve/bench/instrumented scope stays legal.
+        assert rules_hit("import time\nt = time.time()\n", "repro/utils/clock.py") == set()
+
+
 class TestSuppressions:
     def test_reasoned_suppression_silences_exactly_that_rule(self):
         source = (
@@ -396,3 +432,70 @@ class TestRepoIsClean:
         assert "dtype-literal" in strict.stdout
         assert load_report(str(report))[0].rule == "dtype-literal"
         assert run("lint", str(tmp_path)).returncode == 0  # non-strict reports only
+
+
+class TestLinkChecker:
+    """`python -m repro.analysis links` — the docs half of the CI docs-gate."""
+
+    def test_github_anchor_slugs(self):
+        from repro.analysis.links import slugify
+
+        assert slugify("Running the tests and benchmarks") == "running-the-tests-and-benchmarks"
+        # Code spans drop their backticks, `&`/`(`/`)`/`.` vanish, the
+        # space around a removed `&` leaves a double hyphen.
+        assert slugify("Benchmarks & regression gating (`repro.bench`)") == (
+            "benchmarks--regression-gating-reprobench"
+        )
+        assert slugify("Chaos drills (`REPRO_CHAOS`)") == "chaos-drills-repro_chaos"
+        assert slugify("`python -m repro.serve` flags") == "python--m-reproserve-flags"
+
+    def test_duplicate_headings_get_suffixes(self):
+        from repro.analysis.links import heading_anchors
+
+        anchors = heading_anchors("# Setup\n\n## Setup\n\n## Setup\n")
+        assert {"setup", "setup-1", "setup-2"} <= anchors
+
+    def test_broken_file_and_anchor_reported(self, tmp_path):
+        from repro.analysis.links import check_links
+
+        doc = tmp_path / "README.md"
+        doc.write_text(
+            "# Title\n\n## Real heading\n\n"
+            "[ok](#real-heading)\n"
+            "[bad](#not-a-heading)\n"
+            "[gone](docs/MISSING.md)\n"
+            "[external](https://example.com/never-fetched)\n"
+            "```\n[fenced](also/missing.md)\n```\n"
+        )
+        problems, checked, skipped = check_links([str(doc)])
+        assert checked == 3 and skipped == 1
+        assert [(p.line, p.target) for p in problems] == [
+            (6, "#not-a-heading"),
+            (7, "docs/MISSING.md"),
+        ]
+
+    def test_cross_file_anchor_resolves_relative_to_source(self, tmp_path):
+        from repro.analysis.links import check_links
+
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "A.md").write_text("# A\n\n[over there](B.md#the-target)\n")
+        (docs / "B.md").write_text("# B\n\n## The target\n")
+        problems, checked, _ = check_links([str(docs / "A.md")])
+        assert problems == [] and checked == 1
+
+    def test_committed_docs_are_link_clean(self):
+        # The CI docs-gate in executable form, pinned to the repo root
+        # inferred from this test file's location.
+        import pathlib
+
+        from repro.analysis.links import check_links, default_doc_paths
+
+        root = str(pathlib.Path(__file__).resolve().parent.parent)
+        paths = default_doc_paths(root)
+        assert any(p.endswith("README.md") for p in paths)
+        problems, checked, _ = check_links(paths)
+        assert checked > 0
+        assert problems == [], "\n".join(
+            f"{p.location()}: {p.target}: {p.message}" for p in problems
+        )

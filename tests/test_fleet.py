@@ -498,6 +498,56 @@ class TestFleetHTTP:
             client.predict(images[:1], model="missing")
         assert info.value.status == 404
 
+    def test_healthz_reports_draining_and_queue_depth(self, client):
+        health = client.healthz()
+        assert health["draining"] is False
+        assert isinstance(health["queue_depth"], int)
+
+    def test_metrics_schema_identical_to_in_process(self, client, images):
+        """The /metrics contract does not change shape behind a fleet.
+
+        A 2-shard fleet snapshot must be the same ``repro-metrics/v1``
+        schema an in-process server serves: same format tag, same
+        per-kind key sets, and the per-shard worker instruments merged
+        into single aggregate series.
+        """
+        from repro.obs.registry import METRICS_FORMAT, default_registry
+
+        client.predict(images[:1])
+        snapshot = client.metrics()
+        assert snapshot["format"] == METRICS_FORMAT
+        local = default_registry().snapshot()
+        kinds: dict = {}
+        for source in (snapshot, local):
+            for entry in source["instruments"]:
+                kinds.setdefault(entry["kind"], set()).add(tuple(sorted(entry)))
+        assert all(len(shapes) == 1 for shapes in kinds.values()), kinds
+        by_name = {
+            (entry["name"], tuple(sorted(entry["labels"].items()))): entry
+            for entry in snapshot["instruments"]
+        }
+        # Supervisor-side series and merged worker-side series coexist.
+        accepted = by_name[("fleet_requests_accepted_total", ())]
+        assert accepted["value"] >= 1
+        model_requests = by_name[("serve_model_requests_total", (("model", "model"),))]
+        assert model_requests["value"] >= 1
+        # One aggregate series per (name, labels): shards never leak
+        # their index into the public schema.
+        assert len(by_name) == len(snapshot["instruments"])
+
+    def test_admin_evict_and_load_over_http(self, client, images):
+        evicted = client.evict("model")
+        assert evicted["ok"] is True
+        assert evicted["shards"] == {"0": True, "1": True}
+        warmed = client.load("model")
+        assert warmed["ok"] is True
+        assert warmed["shards"] == {"0": True, "1": True}
+        got = client.predict(images[:1])  # serving works after the cycle
+        assert got.shape == (1, 5)
+        with pytest.raises(ServingError) as info:
+            client.evict("missing")
+        assert info.value.status == 404
+
 
 # ----------------------------------------------------------------------
 # Static analysis coverage
